@@ -1,0 +1,229 @@
+package legato
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// benchmark regenerates its artifact through internal/experiments — the
+// same code path as cmd/legato-bench — and reports the headline numbers as
+// custom metrics so `go test -bench` output documents the reproduction.
+
+import (
+	"testing"
+
+	"legato/internal/experiments"
+	"legato/internal/hw"
+	"legato/internal/secure"
+)
+
+// BenchmarkFig5UndervoltSweep regenerates Fig. 5: voltage sweeps over all
+// four FPGA boards with memory tests at every step.
+func BenchmarkFig5UndervoltSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Board == "VC707" {
+				b.ReportMetric(row.FaultsAtCrash, "VC707-faults/Mbit")
+				b.ReportMetric(row.MaxSavingPercent, "VC707-saving-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6CheckpointRestart regenerates Fig. 6: Heat2D C/R over the
+// full node sweep at 16 GB/process, initial vs async.
+func BenchmarkFig6CheckpointRestart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6([]int{1, 4, 8, 16}, []float64{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SpeedupCkpt(16), "ckpt-speedup-x")
+		b.ReportMetric(res.SpeedupRec(16), "recover-speedup-x")
+	}
+}
+
+// BenchmarkFig6LargeProblem regenerates the 32 GB/process panel.
+func BenchmarkFig6LargeProblem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6([]int{1, 16}, []float64{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[32][0].CkptAsync, "ckpt-async-sec")
+	}
+}
+
+// BenchmarkFig7HEATSTradeoff regenerates the HEATS α sweep (Fig. 7
+// behaviour, [10]).
+func BenchmarkFig7HEATSTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.HEATS([]float64{0, 0.25, 0.5, 0.75, 1}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EnergySavingPercent(), "energy-saving-%")
+	}
+}
+
+// BenchmarkSmartMirror regenerates the Sec. VI FPS/power comparison.
+func BenchmarkSmartMirror(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Mirror(400, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FPS, "workstation-fps")
+		b.ReportMetric(rows[0].PowerW, "workstation-W")
+		b.ReportMetric(rows[1].FPS, "edge-fps")
+		b.ReportMetric(rows[1].PowerW, "edge-W")
+	}
+}
+
+// BenchmarkUndervoltML regenerates the Sec. III-C ML-resilience sweep.
+func BenchmarkUndervoltML(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, baseline, err := experiments.UndervoltML(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(baseline-last.Accuracy, "accuracy-drop-at-crash")
+		b.ReportMetric(last.SavingPercent, "saving-%")
+	}
+}
+
+// BenchmarkSelectiveReplication regenerates the Sec. I selective
+// replication study (E9).
+func BenchmarkSelectiveReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Replication(600, 5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		none, sel := rows[0], rows[1]
+		if none.EnergyJ > 0 {
+			b.ReportMetric(sel.EnergyJ/none.EnergyJ, "selective-energy-factor")
+		}
+		if sel.TaintedOutputs > 0 {
+			b.ReportMetric(float64(none.TaintedOutputs)/float64(sel.TaintedOutputs), "reliability-gain-x")
+		}
+	}
+}
+
+// BenchmarkMTBFModel regenerates the Sec. IV MTBF-sustainability estimate.
+func BenchmarkMTBFModel(b *testing.B) {
+	fig6, err := experiments.Fig6([]int{1}, []float64{16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		factor, err := experiments.MTBF(fig6, 16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(factor, "mtbf-factor-x")
+	}
+}
+
+// BenchmarkXiTAOElastic regenerates the Sec. II-C elasticity ablation (E10).
+func BenchmarkXiTAOElastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.XiTAOElasticity(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MakespanSec, "elastic-makespan-sec")
+		b.ReportMetric(rows[1].MakespanSec, "fixedwide-makespan-sec")
+	}
+}
+
+// BenchmarkTaskRuntime measures the OmpSs-style runtime scheduling a
+// dependence-heavy graph on the cloud platform (E10 substrate throughput).
+func BenchmarkTaskRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(Config{Policy: MinEnergy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Chain of stages with fan-out 8 each.
+		prev := "stage0"
+		sys.Data(prev, 1024)
+		for stage := 1; stage <= 10; stage++ {
+			cur := "stage" + string(rune('0'+stage%10)) + "x"
+			for j := 0; j < 8; j++ {
+				if err := sys.Submit(Task{
+					Name: "work", Gops: 10,
+					In: []string{prev}, Out: []string{cur + string(rune('a'+j))},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			prev = cur + "a"
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecureOverhead measures the enclave cost profile (software vs
+// SGX) over a sealing-heavy workload (the 10× goal of Sec. VII).
+func BenchmarkSecureOverhead(b *testing.B) {
+	root := []byte("bench-platform-root-key-00000000")
+	for i := 0; i < b.N; i++ {
+		workload := func(kind secure.TEEKind) *secure.Enclave {
+			e, err := secure.New(kind, []byte("bench"), root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1<<20)
+			for j := 0; j < 8; j++ {
+				sealed, err := e.Seal(buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Unseal(sealed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return e
+		}
+		sw := workload(secure.SoftwareOnly)
+		hwE := workload(secure.SGX)
+		b.ReportMetric(secure.OverheadRatio(sw, hwE), "hw-accel-x")
+	}
+}
+
+// BenchmarkECCMitigation measures the SECDED ablation sweep (DESIGN.md §5).
+func BenchmarkECCMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ECCMitigation(64<<10, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, eccBad := 0, 0
+		for _, r := range rows {
+			raw += r.PlainBadWords
+			eccBad += r.ECCBadWords
+		}
+		b.ReportMetric(float64(raw), "raw-bad-words")
+		b.ReportMetric(float64(eccBad), "ecc-bad-words")
+	}
+}
+
+// BenchmarkRECSBoxConstruction measures platform bring-up (E7).
+func BenchmarkRECSBoxConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(Config{Platform: CloudPlatform})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(sys.Devices()); got != 15 {
+			b.Fatalf("devices: %d", got)
+		}
+	}
+	_ = hw.MaxMicroservers
+}

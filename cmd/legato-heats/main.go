@@ -1,0 +1,40 @@
+// legato-heats runs the HEATS scheduling experiment (paper Sec. V,
+// Fig. 7): a profiled batch on a mixed x86+ARM cluster, sweeping the
+// customer's energy/performance weight α and reporting the trade-off.
+//
+// Usage:
+//
+//	legato-heats [-tasks N] [-alphas 0,0.25,0.5,0.75,1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"legato/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	tasks := flag.Int("tasks", 6, "batch size")
+	alphasFlag := flag.String("alphas", "0,0.25,0.5,0.75,1", "energy weights to sweep")
+	flag.Parse()
+
+	var alphas []float64
+	for _, f := range strings.Split(*alphasFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			log.Fatalf("bad -alphas: %v", err)
+		}
+		alphas = append(alphas, v)
+	}
+
+	res, err := experiments.HEATS(alphas, *tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+}

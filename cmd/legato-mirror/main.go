@@ -1,0 +1,30 @@
+// legato-mirror runs the Smart Mirror pipeline evaluation (paper Sec. VI):
+// the 2×GTX1080 workstation baseline against the Fig. 9 CPU+GPU+FPGA edge
+// server, reporting FPS, power and tracking quality (Kalman + Hungarian).
+//
+// Usage:
+//
+//	legato-mirror [-frames N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"legato/internal/experiments"
+	"legato/internal/mirror"
+)
+
+func main() {
+	log.SetFlags(0)
+	frames := flag.Int("frames", 600, "frames to evaluate")
+	seed := flag.Int64("seed", 1, "scene/detector seed")
+	flag.Parse()
+
+	rows, err := experiments.Mirror(*frames, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mirror.CompareTable(rows))
+}

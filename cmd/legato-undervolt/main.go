@@ -1,0 +1,86 @@
+// legato-undervolt regenerates the paper's Fig. 5: VCCBRAM undervolting
+// sweeps over the four studied FPGA boards, printing per-step voltage
+// region, rail power, saving and fault density, plus the summary table.
+//
+// Usage:
+//
+//	legato-undervolt [-seed N] [-step V] [-board NAME] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"legato/internal/experiments"
+	"legato/internal/fpga"
+	"legato/internal/plot"
+	"legato/internal/undervolt"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "weak-cell map seed (board fingerprint)")
+	step := flag.Float64("step", 0.005, "sweep step in volts")
+	board := flag.String("board", "", "sweep a single board (VC707, ZC702, KC705-A, KC705-B)")
+	verbose := flag.Bool("verbose", false, "print every sweep step")
+	flag.Parse()
+
+	if *board != "" {
+		var profile fpga.Profile
+		found := false
+		for _, p := range fpga.AllProfiles() {
+			if p.Name == *board {
+				profile, found = p, true
+			}
+		}
+		if !found {
+			log.Fatalf("unknown board %q", *board)
+		}
+		b := fpga.NewBoard(profile, *seed)
+		s, err := undervolt.Run(b, profile.VNom, 0.45, *step)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Table())
+		return
+	}
+
+	res, err := experiments.Fig5(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		for _, s := range res.Sweeps {
+			fmt.Println(s.Table())
+		}
+	}
+	fmt.Print(res.Table())
+
+	// The two panels of Fig. 5 as ASCII charts.
+	faults := plot.Chart{
+		Title:  "fault density vs VCCBRAM (log scale — exponential growth in the critical region)",
+		XLabel: "VCCBRAM (V)", YLabel: "faults/Mbit", LogY: true, Height: 14,
+	}
+	power := plot.Chart{
+		Title: "rail power vs VCCBRAM (VC707)", XLabel: "VCCBRAM (V)", YLabel: "mW", Height: 12,
+	}
+	for _, sw := range res.Sweeps {
+		var fx, fy []float64
+		for _, pt := range sw.Points {
+			if pt.Crashed {
+				continue
+			}
+			if pt.FaultsPerMbit > 0 {
+				fx = append(fx, pt.Voltage)
+				fy = append(fy, pt.FaultsPerMbit)
+			}
+			if sw.Board == "VC707" {
+				power.Add(plot.Series{Name: "rail mW", X: []float64{pt.Voltage}, Y: []float64{pt.RailWatts * 1000}})
+			}
+		}
+		faults.Add(plot.Series{Name: sw.Board, X: fx, Y: fy})
+	}
+	fmt.Println()
+	fmt.Print(faults.Render())
+}

@@ -1,0 +1,83 @@
+// Heat2D with GPU-aware checkpointing (paper Sec. IV, Listing 1): run the
+// distributed Jacobi solver with FTI snapshots, crash it mid-run, lose a
+// node's local storage, restart, recover from the partner copies, and
+// verify the final state matches an uninterrupted run bit for bit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"legato/internal/fti"
+	"legato/internal/gpu"
+	"legato/internal/heat2d"
+	"legato/internal/mpi"
+	"legato/internal/sim"
+)
+
+const (
+	ranks = 4
+	nodes = 4
+)
+
+func run(p heat2d.Params, st *fti.Store) ([]heat2d.RankResult, *fti.Store) {
+	eng := sim.NewEngine()
+	world, err := mpi.NewWorld(eng, mpi.Config{Size: ranks, RanksPerNode: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st == nil {
+		if st, err = fti.NewStore(eng, fti.StoreConfig{Nodes: nodes}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		st.Rebind(eng)
+	}
+	res, err := heat2d.Run(eng, world, st, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, st
+}
+
+func main() {
+	log.SetFlags(0)
+	params := heat2d.Params{
+		NX: 64, NY: 32, Iters: 24,
+		FTI: fti.Config{GroupSize: ranks, CkptEvery: 6, L2Every: 1},
+		GPU: gpu.Config{},
+	}
+
+	fmt.Println("reference run (no failures)…")
+	ref, _ := run(params, nil)
+
+	fmt.Println("run with a crash after iteration 15…")
+	crashed := params
+	crashed.FailAtIter = 15
+	_, store := run(crashed, nil)
+
+	fmt.Println("node 2 loses its NVMe; restarting against the same store…")
+	store.FailNode(2)
+	rec, _ := run(params, store)
+
+	allGood := true
+	for r := 0; r < ranks; r++ {
+		match := math.Abs(rec[r].Checksum-ref[r].Checksum) <=
+			1e-9*math.Abs(ref[r].Checksum)+1e-12
+		status := "OK"
+		if !match {
+			status = "MISMATCH"
+			allGood = false
+		}
+		fmt.Printf("  rank %d: recovered=%v checkpoints=%d checksum %.6f vs %.6f  %s\n",
+			r, rec[r].Recovered, rec[r].Stats.Checkpoints,
+			rec[r].Checksum, ref[r].Checksum, status)
+	}
+	if allGood {
+		fmt.Println("\nrecovered run matches the uninterrupted run exactly —")
+		fmt.Println("rank 2 was rebuilt from its L2 partner copy after the node loss.")
+	} else {
+		log.Fatal("recovery mismatch")
+	}
+}

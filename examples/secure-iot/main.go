@@ -1,0 +1,89 @@
+// Secure IoT Gateway (one of the paper's Sec. II-F use cases): an edge
+// gateway attests itself to a verifier, receives sealed sensor batches,
+// processes them inside the enclave as secure LEGaTO tasks, and persists a
+// sealed aggregate — comparing the software-only and hardware-assisted
+// security cost (the 10× goal).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"legato"
+	"legato/internal/secure"
+)
+
+var platformKey = []byte("gateway-platform-root-key-00001!")
+
+func runGateway(kind secure.TEEKind) *secure.Enclave {
+	enclave, err := secure.New(kind, []byte("iot-gateway-v1"), platformKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 1. Remote attestation: the verifier challenges the gateway.
+	quote := enclave.Attest(0xC0FFEE)
+	if !secure.Verify(quote, enclave.Measurement, platformKey) {
+		log.Fatal("attestation failed")
+	}
+	// 2. Sensor batches arrive (64 KiB each — bulk telemetry; tiny batches
+	// would be dominated by the enclave-transition cost on any TEE), are
+	// processed and re-sealed.
+	var total float64
+	for batch := 0; batch < 50; batch++ {
+		readings := make([]byte, 64<<10)
+		for i := 0; i < len(readings); i += 8 {
+			binary.LittleEndian.PutUint64(readings[i:], uint64(batch*i))
+		}
+		sealed, err := enclave.Seal(readings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, err := enclave.Unseal(sealed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enclave.RunSecure(func() {
+			for i := 0; i < len(plain); i += 8 {
+				total += float64(binary.LittleEndian.Uint64(plain[i:]))
+			}
+		})
+	}
+	_ = total
+	return enclave
+}
+
+func main() {
+	log.SetFlags(0)
+
+	sw := runGateway(secure.SoftwareOnly)
+	hw := runGateway(secure.SGX)
+	fmt.Printf("security energy, software-only: %10.1f µJ\n", sw.EnergyNJ/1000)
+	fmt.Printf("security energy, SGX-assisted:  %10.1f µJ\n", hw.EnergyNJ/1000)
+	fmt.Printf("hardware acceleration gain:     %10.1fx (project goal: 10x)\n\n",
+		secure.OverheadRatio(sw, hw))
+
+	// The same gateway as LEGaTO tasks with the Secure requirement on the
+	// edge platform.
+	sys, err := legato.NewSystem(legato.Config{Platform: legato.EdgePlatform, TEE: secure.TrustZone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Data("sensor-batch", 4096)
+	for i := 0; i < 5; i++ {
+		if err := sys.Submit(legato.Task{
+			Name: fmt.Sprintf("process-batch-%d", i),
+			Gops: 10, In: []string{"sensor-batch"},
+			Out: []string{fmt.Sprintf("aggregate-%d", i)},
+			Req: legato.Requirements{Secure: true},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge gateway processed 5 sealed batches: task energy %.2f J, security %.6f J\n",
+		rep.TaskEnergyJ, rep.SecurityEnergyJ)
+}

@@ -1,0 +1,28 @@
+// Undervolted ML inference (paper Sec. III-C): train a small classifier,
+// quantise it to int8, deploy the weights into a ZC702-class FPGA's BRAM
+// and sweep VCCBRAM below the guardband — accuracy degrades gracefully
+// while the BRAM rail power collapses, the "inherent resilience of ML
+// models" the paper leverages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"legato/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	rows, baseline, err := experiments.UndervoltML(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.MLTable(rows, baseline))
+
+	last := rows[len(rows)-1]
+	fmt.Printf("\nat %.2f V: %.1f%% rail-power saving with accuracy %.3f (baseline %.3f)\n",
+		last.Voltage, last.SavingPercent, last.Accuracy, baseline)
+	fmt.Println("→ the model tolerates undervolting-induced bit flips far below the")
+	fmt.Println("  vendor guardband, so the energy win extends into the critical region.")
+}

@@ -1,0 +1,236 @@
+// Package cluster simulates the heterogeneous Kubernetes-style cluster
+// HEATS schedules onto (paper Sec. V): nodes wrapping hw devices with CPU
+// and memory capacities, tasks as resource-requesting containers, live
+// placement, and migration with a freeze/transfer downtime — the
+// "instantiates and moves tasks among nodes" box of Fig. 7.
+package cluster
+
+import (
+	"fmt"
+
+	"legato/internal/energy"
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+// Task is one schedulable container.
+type Task struct {
+	Name string
+	// Kind groups tasks with the same performance profile (HEATS learns
+	// per-kind models).
+	Kind string
+	// CPU is the requested core count.
+	CPU int
+	// MemBytes is the requested memory.
+	MemBytes int64
+	// Gops is the total work.
+	Gops float64
+	// OnDone runs at completion.
+	OnDone func()
+
+	remaining  float64
+	node       *Node
+	started    sim.Time
+	rate       float64 // gops/sec on current node
+	exec       sim.Handle
+	done       bool
+	migrations int
+	// EnergyJ accumulates the dynamic energy spent on this task.
+	EnergyJ energy.Joules
+}
+
+// Done reports completion.
+func (t *Task) Done() bool { return t.done }
+
+// Node returns the current placement (nil if queued or done).
+func (t *Task) Node() *Node { return t.node }
+
+// Migrations counts completed migrations.
+func (t *Task) Migrations() int { return t.migrations }
+
+// Remaining returns the unfinished work in gops (approximate between
+// events; exact at event boundaries).
+func (t *Task) Remaining() float64 { return t.remaining }
+
+// Node is one cluster machine.
+type Node struct {
+	Name string
+	Dev  *hw.Device
+
+	eng     *sim.Engine
+	cpuFree int
+	memFree int64
+	tasks   map[*Task]struct{}
+}
+
+// CPUFree returns currently unallocated cores.
+func (n *Node) CPUFree() int { return n.cpuFree }
+
+// MemFree returns currently unallocated memory.
+func (n *Node) MemFree() int64 { return n.memFree }
+
+// RunningTasks returns the live task count.
+func (n *Node) RunningTasks() int { return len(n.tasks) }
+
+// Fits reports whether the node can host the task right now.
+func (n *Node) Fits(t *Task) bool {
+	return n.Dev.Healthy() && n.cpuFree >= t.CPU && n.memFree >= t.MemBytes
+}
+
+// Cluster is the set of nodes.
+type Cluster struct {
+	eng   *sim.Engine
+	Nodes []*Node
+
+	// MigrationNetGBps is the state-transfer bandwidth (default 1 GB/s).
+	MigrationNetGBps float64
+	// MigrationFreeze is the fixed freeze/thaw downtime (default 500 ms).
+	MigrationFreeze sim.Time
+
+	completed int
+}
+
+// New creates a cluster on eng.
+func New(eng *sim.Engine) *Cluster {
+	return &Cluster{eng: eng, MigrationNetGBps: 1, MigrationFreeze: 500 * sim.Millisecond}
+}
+
+// AddNode wraps a device as a schedulable node.
+func (c *Cluster) AddNode(name string, spec hw.Spec) *Node {
+	n := &Node{
+		Name:    name,
+		Dev:     hw.NewDevice(c.eng, name, spec),
+		eng:     c.eng,
+		cpuFree: spec.Cores,
+		memFree: spec.MemBytes,
+		tasks:   make(map[*Task]struct{}),
+	}
+	c.Nodes = append(c.Nodes, n)
+	return n
+}
+
+// Completed returns the number of finished tasks.
+func (c *Cluster) Completed() int { return c.completed }
+
+// Place starts (or resumes) t on node n.
+func (c *Cluster) Place(t *Task, n *Node) error {
+	if t.done {
+		return fmt.Errorf("cluster: task %q already done", t.Name)
+	}
+	if t.node != nil {
+		return fmt.Errorf("cluster: task %q already placed on %s", t.Name, t.node.Name)
+	}
+	if !n.Fits(t) {
+		return fmt.Errorf("cluster: task %q does not fit node %s (cpu %d/%d, mem %d/%d)",
+			t.Name, n.Name, t.CPU, n.cpuFree, t.MemBytes, n.memFree)
+	}
+	if t.remaining == 0 {
+		t.remaining = t.Gops
+	}
+	if err := n.Dev.Acquire(t.CPU); err != nil {
+		return err
+	}
+	n.cpuFree -= t.CPU
+	n.memFree -= t.MemBytes
+	n.tasks[t] = struct{}{}
+	t.node = n
+	t.started = c.eng.Now()
+	span := n.Dev.ExecTime(t.remaining, t.CPU)
+	if sec := sim.ToSeconds(span); sec > 0 {
+		t.rate = t.remaining / sec
+	} else {
+		t.rate = 0
+	}
+	work := t.remaining
+	t.exec = c.eng.Schedule(span, func() {
+		t.EnergyJ += n.Dev.EnergyFor(work, t.CPU)
+		c.release(t, n)
+		t.remaining = 0
+		t.done = true
+		c.completed++
+		if t.OnDone != nil {
+			t.OnDone()
+		}
+	})
+	return nil
+}
+
+// release frees the node resources held by t.
+func (c *Cluster) release(t *Task, n *Node) {
+	n.Dev.Release(t.CPU)
+	n.cpuFree += t.CPU
+	n.memFree += t.MemBytes
+	delete(n.tasks, t)
+	t.node = nil
+}
+
+// Migrate freezes t, transfers its state and resumes it on dst. The task
+// makes no progress during the transfer (downtime = freeze + memory/net).
+func (c *Cluster) Migrate(t *Task, dst *Node) error {
+	if t.done {
+		return fmt.Errorf("cluster: migrating finished task %q", t.Name)
+	}
+	src := t.node
+	if src == nil {
+		return fmt.Errorf("cluster: task %q is not running", t.Name)
+	}
+	if dst == src {
+		return fmt.Errorf("cluster: task %q already on %s", t.Name, dst.Name)
+	}
+	if !dst.Fits(t) {
+		return fmt.Errorf("cluster: task %q does not fit node %s", t.Name, dst.Name)
+	}
+	// Stop execution and account completed work + its energy.
+	t.exec.Cancel()
+	elapsed := sim.ToSeconds(c.eng.Now() - t.started)
+	done := t.rate * elapsed
+	if done > t.remaining {
+		done = t.remaining
+	}
+	t.EnergyJ += src.Dev.EnergyFor(done, t.CPU)
+	t.remaining -= done
+	c.release(t, src)
+	t.migrations++
+
+	downtime := c.MigrationFreeze +
+		sim.Seconds(float64(t.MemBytes)/(c.MigrationNetGBps*1e9))
+	// Reserve destination resources immediately so concurrent decisions
+	// see the claim.
+	if err := dst.Dev.Acquire(t.CPU); err != nil {
+		// Destination raced to full; fall back to the source node.
+		return c.Place(t, src)
+	}
+	dst.Dev.Release(t.CPU) // actual hold happens in Place after downtime
+	c.eng.Schedule(downtime, func() {
+		if err := c.Place(t, dst); err != nil {
+			// Last resort: try any node that fits.
+			for _, n := range c.Nodes {
+				if n.Fits(t) {
+					if c.Place(t, n) == nil {
+						return
+					}
+				}
+			}
+			// Task stays queued; a scheduler pass must rescue it.
+		}
+	})
+	return nil
+}
+
+// TotalPower sums instantaneous node power.
+func (c *Cluster) TotalPower() float64 {
+	p := 0.0
+	for _, n := range c.Nodes {
+		p += n.Dev.Meter().Power()
+	}
+	return p
+}
+
+// TotalEnergy sums node meter energy (idle + dynamic).
+func (c *Cluster) TotalEnergy() float64 {
+	e := 0.0
+	for _, n := range c.Nodes {
+		e += n.Dev.Meter().Energy()
+	}
+	return e
+}

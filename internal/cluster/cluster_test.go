@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+func TestPlaceAndComplete(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	n := c.AddNode("x86-0", hw.XeonD())
+	done := false
+	task := &Task{Name: "t", Kind: "k", CPU: 4, MemBytes: 1 << 30, Gops: 100,
+		OnDone: func() { done = true }}
+	if err := c.Place(task, n); err != nil {
+		t.Fatal(err)
+	}
+	if n.CPUFree() != 12 {
+		t.Fatalf("cpu accounting: %d free", n.CPUFree())
+	}
+	eng.Run()
+	if !done || !task.Done() {
+		t.Fatal("task did not complete")
+	}
+	if n.CPUFree() != 16 || n.RunningTasks() != 0 {
+		t.Fatal("resources not released")
+	}
+	if c.Completed() != 1 {
+		t.Fatalf("completed count: %d", c.Completed())
+	}
+	if task.EnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	n := c.AddNode("arm-0", hw.ARMv8Server())
+	big := &Task{Name: "big", CPU: 99, Gops: 1}
+	if err := c.Place(big, n); err == nil {
+		t.Fatal("oversized task accepted")
+	}
+	task := &Task{Name: "t", CPU: 2, Gops: 10}
+	if err := c.Place(task, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(task, n); err == nil {
+		t.Fatal("double placement accepted")
+	}
+}
+
+func TestExecTimeMatchesDeviceModel(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	n := c.AddNode("x86-0", hw.XeonD())
+	task := &Task{Name: "t", CPU: 16, Gops: 400} // full device: 1s at 400 GOPS
+	if err := c.Place(task, n); err != nil {
+		t.Fatal(err)
+	}
+	end := eng.Run()
+	if math.Abs(sim.ToSeconds(end)-1.0) > 1e-9 {
+		t.Fatalf("completion at %v, want 1s", sim.ToSeconds(end))
+	}
+}
+
+func TestMigrationPreservesWork(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	slow := c.AddNode("arm-0", hw.ARMv8Server()) // 144 GOPS over 8 cores
+	fast := c.AddNode("x86-0", hw.XeonD())
+	task := &Task{Name: "t", Kind: "k", CPU: 8, MemBytes: 1 << 28, Gops: 288}
+	// On ARM with all 8 cores: 2s. Migrate at 1s (half done) to the Xeon.
+	if err := c.Place(task, slow); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(sim.Second, func() {
+		if err := c.Migrate(task, fast); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+	})
+	end := eng.Run()
+	if !task.Done() {
+		t.Fatal("task unfinished after migration")
+	}
+	if task.Migrations() != 1 {
+		t.Fatalf("migration count: %d", task.Migrations())
+	}
+	// Remaining 144 gops on 8 Xeon cores (200 GOPS for 8/16 cores): 0.72s,
+	// plus downtime 0.5s + 268MB at 1GB/s ≈ 0.268s → end ≈ 1 + 0.768 + 0.72.
+	want := 1.0 + 0.5 + float64(1<<28)/1e9 + 144.0/200.0
+	if math.Abs(sim.ToSeconds(end)-want) > 0.01 {
+		t.Fatalf("end at %.3fs, want ≈%.3fs", sim.ToSeconds(end), want)
+	}
+	// Both nodes clean.
+	if slow.RunningTasks() != 0 || fast.RunningTasks() != 0 {
+		t.Fatal("nodes not cleaned up after migration")
+	}
+	if slow.CPUFree() != 8 || fast.CPUFree() != 16 {
+		t.Fatal("cpu leak after migration")
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	a := c.AddNode("a", hw.ARMv8Server())
+	b := c.AddNode("b", hw.ARMv8Server())
+	task := &Task{Name: "t", CPU: 2, Gops: 1000}
+	if err := c.Migrate(task, b); err == nil {
+		t.Fatal("migrating unplaced task accepted")
+	}
+	if err := c.Place(task, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(task, a); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	eng.Run()
+	if err := c.Migrate(task, b); err == nil {
+		t.Fatal("migrating finished task accepted")
+	}
+}
+
+func TestPowerReflectsLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	n := c.AddNode("x86-0", hw.XeonD())
+	idle := c.TotalPower()
+	task := &Task{Name: "t", CPU: 16, Gops: 1000}
+	if err := c.Place(task, n); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalPower() <= idle {
+		t.Fatal("power did not rise under load")
+	}
+	eng.Run()
+	if c.TotalPower() != idle {
+		t.Fatal("power did not return to idle")
+	}
+	if c.TotalEnergy() <= 0 {
+		t.Fatal("no energy integrated")
+	}
+}

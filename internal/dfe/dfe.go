@@ -1,0 +1,250 @@
+// Package dfe models Maxeler-style dataflow engines (paper Secs. I, II:
+// "FPGA-based Dataflow Engines (DFE)"): a static dataflow graph is loaded
+// onto the engine, streams flow through the fully pipelined graph at one
+// element per cycle, and performance follows the classic fill+stream
+// model: cycles = pipeline_depth + n_elements − 1.
+//
+// Graphs execute functionally (real arithmetic on real streams) so HLS
+// lowering can be validated end to end, while timing and energy come from
+// the engine's clock and per-operation cost model.
+package dfe
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op enumerates dataflow node kinds.
+type Op int
+
+const (
+	// OpInput reads the next element of a named input stream.
+	OpInput Op = iota
+	// OpConst produces a constant.
+	OpConst
+	// OpAdd, OpSub, OpMul, OpDiv are arithmetic nodes.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	// OpMux selects b when a > 0, else c.
+	OpMux
+	// OpOutput sinks a named output stream.
+	OpOutput
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInput:
+		return "input"
+	case OpConst:
+		return "const"
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpMux:
+		return "mux"
+	case OpOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// latency returns the node's pipeline latency in cycles.
+func (o Op) latency() int {
+	switch o {
+	case OpAdd, OpSub, OpMux:
+		return 1
+	case OpMul:
+		return 3
+	case OpDiv:
+		return 12
+	default:
+		return 0
+	}
+}
+
+// Node is one vertex of the dataflow graph.
+type Node struct {
+	ID   int
+	Op   Op
+	Name string // stream name for inputs/outputs
+	K    float64
+	Args []*Node
+}
+
+// Graph is a static dataflow design.
+type Graph struct {
+	nodes   []*Node
+	inputs  map[string]*Node
+	outputs map[string]*Node
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{inputs: make(map[string]*Node), outputs: make(map[string]*Node)}
+}
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Input declares (or returns) a named input stream.
+func (g *Graph) Input(name string) *Node {
+	if n, ok := g.inputs[name]; ok {
+		return n
+	}
+	n := g.add(&Node{Op: OpInput, Name: name})
+	g.inputs[name] = n
+	return n
+}
+
+// Const produces a constant node.
+func (g *Graph) Const(v float64) *Node { return g.add(&Node{Op: OpConst, K: v}) }
+
+// Bin adds a binary arithmetic node.
+func (g *Graph) Bin(op Op, a, b *Node) *Node {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+	default:
+		panic(fmt.Sprintf("dfe: %v is not a binary op", op))
+	}
+	return g.add(&Node{Op: op, Args: []*Node{a, b}})
+}
+
+// Mux adds a select node: cond > 0 ? a : b.
+func (g *Graph) Mux(cond, a, b *Node) *Node {
+	return g.add(&Node{Op: OpMux, Args: []*Node{cond, a, b}})
+}
+
+// Output declares a named output stream fed by n.
+func (g *Graph) Output(name string, n *Node) error {
+	if _, dup := g.outputs[name]; dup {
+		return fmt.Errorf("dfe: duplicate output %q", name)
+	}
+	out := g.add(&Node{Op: OpOutput, Name: name, Args: []*Node{n}})
+	g.outputs[name] = out
+	return nil
+}
+
+// Nodes returns the node count (excluding I/O framing).
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// PipelineDepth returns the longest latency path in cycles.
+func (g *Graph) PipelineDepth() int {
+	depth := make([]int, len(g.nodes))
+	max := 0
+	for _, n := range g.nodes { // nodes are in topological order by construction
+		d := 0
+		for _, a := range n.Args {
+			if depth[a.ID] > d {
+				d = depth[a.ID]
+			}
+		}
+		depth[n.ID] = d + n.Op.latency()
+		if depth[n.ID] > max {
+			max = depth[n.ID]
+		}
+	}
+	return max
+}
+
+// Run streams the named inputs through the graph and returns the outputs.
+// All input streams must be the same length.
+func (g *Graph) Run(inputs map[string][]float64) (map[string][]float64, error) {
+	n := -1
+	for name := range g.inputs {
+		stream, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("dfe: missing input stream %q", name)
+		}
+		if n == -1 {
+			n = len(stream)
+		} else if len(stream) != n {
+			return nil, fmt.Errorf("dfe: input %q length %d, want %d", name, len(stream), n)
+		}
+	}
+	if n == -1 {
+		n = 0
+	}
+	out := make(map[string][]float64, len(g.outputs))
+	for name := range g.outputs {
+		out[name] = make([]float64, n)
+	}
+	vals := make([]float64, len(g.nodes))
+	for i := 0; i < n; i++ {
+		for _, node := range g.nodes {
+			switch node.Op {
+			case OpInput:
+				vals[node.ID] = inputs[node.Name][i]
+			case OpConst:
+				vals[node.ID] = node.K
+			case OpAdd:
+				vals[node.ID] = vals[node.Args[0].ID] + vals[node.Args[1].ID]
+			case OpSub:
+				vals[node.ID] = vals[node.Args[0].ID] - vals[node.Args[1].ID]
+			case OpMul:
+				vals[node.ID] = vals[node.Args[0].ID] * vals[node.Args[1].ID]
+			case OpDiv:
+				d := vals[node.Args[1].ID]
+				if d == 0 {
+					vals[node.ID] = math.Inf(1)
+				} else {
+					vals[node.ID] = vals[node.Args[0].ID] / d
+				}
+			case OpMux:
+				if vals[node.Args[0].ID] > 0 {
+					vals[node.ID] = vals[node.Args[1].ID]
+				} else {
+					vals[node.ID] = vals[node.Args[2].ID]
+				}
+			case OpOutput:
+				out[node.Name][i] = vals[node.Args[0].ID]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Engine is a DFE device: a clock and a per-op energy model.
+type Engine struct {
+	Name string
+	// ClockHz is the dataflow clock (Maxeler-class parts run ~200 MHz).
+	ClockHz float64
+	// StaticWatts draws regardless of activity; DynNJPerOp is the energy
+	// of one node firing.
+	StaticWatts float64
+	DynNJPerOp  float64
+}
+
+// NewEngine returns a Maxeler-class engine model.
+func NewEngine(name string) *Engine {
+	return &Engine{Name: name, ClockHz: 200e6, StaticWatts: 25, DynNJPerOp: 0.05}
+}
+
+// StreamSeconds returns the wall time to stream n elements through g:
+// (depth + n − 1) cycles at the engine clock.
+func (e *Engine) StreamSeconds(g *Graph, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	cycles := float64(g.PipelineDepth() + n - 1)
+	return cycles / e.ClockHz
+}
+
+// StreamEnergyJ returns the energy to stream n elements: static draw over
+// the stream time plus dynamic energy of every node firing per element.
+func (e *Engine) StreamEnergyJ(g *Graph, n int) float64 {
+	t := e.StreamSeconds(g, n)
+	dynamic := float64(g.Nodes()) * float64(n) * e.DynNJPerOp * 1e-9
+	return e.StaticWatts*t + dynamic
+}

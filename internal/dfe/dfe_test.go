@@ -1,0 +1,153 @@
+package dfe
+
+import (
+	"math"
+	"testing"
+)
+
+// saxpyGraph builds y = a*x + b over streams x (input), constants a, b.
+func saxpyGraph(a, b float64) *Graph {
+	g := NewGraph()
+	x := g.Input("x")
+	ax := g.Bin(OpMul, g.Const(a), x)
+	y := g.Bin(OpAdd, ax, g.Const(b))
+	if err := g.Output("y", y); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRunSaxpy(t *testing.T) {
+	g := saxpyGraph(2, 1)
+	out, err := g.Run(map[string][]float64{"x": {0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7}
+	for i, w := range want {
+		if out["y"][i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i, out["y"][i], w)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := saxpyGraph(1, 0)
+	if _, err := g.Run(map[string][]float64{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	g2 := NewGraph()
+	a := g2.Input("a")
+	b := g2.Input("b")
+	if err := g2.Output("s", g2.Bin(OpAdd, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g2.Run(map[string][]float64{"a": {1, 2}, "b": {1}})
+	if err == nil {
+		t.Fatal("mismatched stream lengths accepted")
+	}
+}
+
+func TestMuxSelects(t *testing.T) {
+	g := NewGraph()
+	c := g.Input("c")
+	m := g.Mux(c, g.Const(10), g.Const(20))
+	if err := g.Output("o", m); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"c": {1, -1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 20}
+	for i, w := range want {
+		if out["o"][i] != w {
+			t.Fatalf("mux[%d] = %v want %v", i, out["o"][i], w)
+		}
+	}
+}
+
+func TestDivByZeroIsInf(t *testing.T) {
+	g := NewGraph()
+	x := g.Input("x")
+	if err := g.Output("o", g.Bin(OpDiv, g.Const(1), x)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out["o"][0], 1) {
+		t.Fatalf("1/0 = %v", out["o"][0])
+	}
+}
+
+func TestPipelineDepth(t *testing.T) {
+	// mul(3) then add(1): depth 4.
+	g := saxpyGraph(2, 1)
+	if d := g.PipelineDepth(); d != 4 {
+		t.Fatalf("depth: got %d want 4", d)
+	}
+	// Chain of two muls: 6.
+	g2 := NewGraph()
+	x := g2.Input("x")
+	m1 := g2.Bin(OpMul, x, x)
+	m2 := g2.Bin(OpMul, m1, x)
+	if err := g2.Output("o", m2); err != nil {
+		t.Fatal(err)
+	}
+	if d := g2.PipelineDepth(); d != 6 {
+		t.Fatalf("chained depth: got %d want 6", d)
+	}
+}
+
+func TestDuplicateOutputRejected(t *testing.T) {
+	g := NewGraph()
+	x := g.Input("x")
+	if err := g.Output("o", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Output("o", x); err == nil {
+		t.Fatal("duplicate output accepted")
+	}
+}
+
+func TestStreamTimingModel(t *testing.T) {
+	e := NewEngine("dfe0")
+	g := saxpyGraph(1, 1) // depth 4
+	n := 1000000
+	sec := e.StreamSeconds(g, n)
+	want := float64(4+n-1) / 200e6
+	if math.Abs(sec-want) > 1e-12 {
+		t.Fatalf("stream time %v, want %v", sec, want)
+	}
+	if e.StreamSeconds(g, 0) != 0 {
+		t.Fatal("zero-length stream should take no time")
+	}
+	// Throughput approaches one element per cycle for long streams.
+	eps := sec*200e6/float64(n) - 1
+	if eps > 0.001 {
+		t.Fatalf("long-stream throughput off: %v cycles/element", 1+eps)
+	}
+}
+
+func TestStreamEnergy(t *testing.T) {
+	e := NewEngine("dfe0")
+	g := saxpyGraph(1, 1)
+	j := e.StreamEnergyJ(g, 1000)
+	if j <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	// Energy grows with stream length.
+	if e.StreamEnergyJ(g, 2000) <= j {
+		t.Fatal("energy not monotone in stream length")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, o := range []Op{OpInput, OpConst, OpAdd, OpSub, OpMul, OpDiv, OpMux, OpOutput} {
+		if o.String() == "" {
+			t.Fatal("empty op name")
+		}
+	}
+}

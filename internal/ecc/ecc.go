@@ -1,0 +1,181 @@
+// Package ecc implements SECDED (single-error-correct, double-error-
+// detect) Hamming(72,64) coding as used to protect BRAM contents against
+// undervolting-induced bit flips — the mitigation direction of the
+// LEGaTO resilience work (Sec. III-C; the underlying MICRO'18 study [7]
+// evaluates ECC as the enabler for operating FPGAs inside the critical
+// voltage region).
+//
+// Each 64-bit data word is extended with 8 check bits: 7 Hamming parity
+// bits (positions 1,2,4,...,64 in the 1-indexed codeword) plus one
+// overall parity bit for double-error detection.
+package ecc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// CodewordBytes is the encoded size of one 64-bit word.
+const CodewordBytes = 9
+
+// WordBytes is the data size of one codeword.
+const WordBytes = 8
+
+// ErrDoubleBit reports an uncorrectable double-bit error.
+var ErrDoubleBit = errors.New("ecc: uncorrectable double-bit error")
+
+// dataBitPosition maps data bit i (0..63) to its position in the 1-indexed
+// 72-bit codeword (positions that are powers of two hold parity bits).
+var dataBitPosition [64]int
+
+// positionOfParity holds the codeword positions of the 7 Hamming parity
+// bits (1, 2, 4, 8, 16, 32, 64).
+var positionOfParity = [7]int{1, 2, 4, 8, 16, 32, 64}
+
+func init() {
+	pos := 1
+	i := 0
+	for i < 64 {
+		// Skip power-of-two positions: they hold parity.
+		if pos&(pos-1) != 0 {
+			dataBitPosition[i] = pos
+			i++
+		}
+		pos++
+	}
+}
+
+// EncodeWord produces the 72-bit codeword of a 64-bit value as 9 bytes:
+// 8 data bytes followed by the check byte (7 Hamming bits + overall
+// parity in the MSB).
+func EncodeWord(v uint64) [CodewordBytes]byte {
+	var out [CodewordBytes]byte
+	binary.LittleEndian.PutUint64(out[:8], v)
+
+	var check byte
+	for p := 0; p < 7; p++ {
+		parity := 0
+		mask := positionOfParity[p]
+		for i := 0; i < 64; i++ {
+			if dataBitPosition[i]&mask != 0 && v>>uint(i)&1 == 1 {
+				parity ^= 1
+			}
+		}
+		check |= byte(parity) << uint(p)
+	}
+	// Overall parity over data + the 7 Hamming bits.
+	overall := bits.OnesCount64(v) + bits.OnesCount8(check)
+	check |= byte(overall&1) << 7
+	out[8] = check
+	return out
+}
+
+// DecodeWord recovers the data word, correcting a single flipped bit
+// (data or check) and detecting double-bit errors.
+func DecodeWord(cw [CodewordBytes]byte) (uint64, bool, error) {
+	v := binary.LittleEndian.Uint64(cw[:8])
+	check := cw[8]
+
+	// Recompute the syndrome.
+	syndrome := 0
+	for p := 0; p < 7; p++ {
+		parity := 0
+		mask := positionOfParity[p]
+		for i := 0; i < 64; i++ {
+			if dataBitPosition[i]&mask != 0 && v>>uint(i)&1 == 1 {
+				parity ^= 1
+			}
+		}
+		if byte(parity) != check>>uint(p)&1 {
+			syndrome |= mask
+		}
+	}
+	overall := (bits.OnesCount64(v) + bits.OnesCount8(check&0x7f)) & 1
+	overallStored := int(check >> 7)
+	overallMismatch := overall != overallStored
+
+	switch {
+	case syndrome == 0 && !overallMismatch:
+		return v, false, nil
+	case syndrome == 0 && overallMismatch:
+		// The overall parity bit itself flipped.
+		return v, true, nil
+	case overallMismatch:
+		// Single-bit error at codeword position = syndrome.
+		for i := 0; i < 64; i++ {
+			if dataBitPosition[i] == syndrome {
+				return v ^ 1<<uint(i), true, nil
+			}
+		}
+		// The flipped bit was one of the Hamming parity bits.
+		for _, p := range positionOfParity {
+			if p == syndrome {
+				return v, true, nil
+			}
+		}
+		return 0, false, fmt.Errorf("ecc: impossible syndrome %d", syndrome)
+	default:
+		// Syndrome nonzero but overall parity matches: two bits flipped.
+		return 0, false, ErrDoubleBit
+	}
+}
+
+// Encode protects a byte slice (padded to 8-byte words) and returns the
+// encoded image: ⌈len/8⌉ codewords of 9 bytes.
+func Encode(data []byte) []byte {
+	words := (len(data) + WordBytes - 1) / WordBytes
+	out := make([]byte, 0, words*CodewordBytes)
+	var buf [WordBytes]byte
+	for w := 0; w < words; w++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf[:], data[w*WordBytes:])
+		cw := EncodeWord(binary.LittleEndian.Uint64(buf[:]))
+		out = append(out, cw[:]...)
+	}
+	return out
+}
+
+// DecodeStats reports what decoding encountered.
+type DecodeStats struct {
+	Words       int
+	Corrected   int
+	Uncorrected int
+}
+
+// Decode recovers data of the given original length from an encoded
+// image, correcting single-bit errors per word. Words with double-bit
+// errors are returned as stored (corrupted) and counted in the stats.
+func Decode(encoded []byte, origLen int) ([]byte, DecodeStats, error) {
+	if len(encoded)%CodewordBytes != 0 {
+		return nil, DecodeStats{}, fmt.Errorf("ecc: encoded length %d not a codeword multiple", len(encoded))
+	}
+	words := len(encoded) / CodewordBytes
+	stats := DecodeStats{Words: words}
+	out := make([]byte, 0, words*WordBytes)
+	var cw [CodewordBytes]byte
+	for w := 0; w < words; w++ {
+		copy(cw[:], encoded[w*CodewordBytes:])
+		v, corrected, err := DecodeWord(cw)
+		if err != nil {
+			// Uncorrectable: keep the raw (corrupted) data bits.
+			stats.Uncorrected++
+			v = binary.LittleEndian.Uint64(cw[:8])
+		} else if corrected {
+			stats.Corrected++
+		}
+		var buf [WordBytes]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		out = append(out, buf[:]...)
+	}
+	if origLen > len(out) {
+		return nil, stats, fmt.Errorf("ecc: original length %d exceeds decoded %d", origLen, len(out))
+	}
+	return out[:origLen], stats, nil
+}
+
+// Overhead returns the storage overhead factor of the code (9/8).
+func Overhead() float64 { return float64(CodewordBytes) / float64(WordBytes) }

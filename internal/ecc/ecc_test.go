@@ -1,0 +1,138 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripNoErrors(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEBABE} {
+		cw := EncodeWord(v)
+		got, corrected, err := DecodeWord(cw)
+		if err != nil || corrected || got != v {
+			t.Fatalf("clean decode of %x: got %x corrected=%v err=%v", v, got, corrected, err)
+		}
+	}
+}
+
+func TestSingleBitDataCorrection(t *testing.T) {
+	v := uint64(0x0123456789ABCDEF)
+	for bit := 0; bit < 64; bit++ {
+		cw := EncodeWord(v)
+		cw[bit/8] ^= 1 << uint(bit%8)
+		got, corrected, err := DecodeWord(cw)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if !corrected || got != v {
+			t.Fatalf("bit %d not corrected: got %x", bit, got)
+		}
+	}
+}
+
+func TestSingleBitCheckCorrection(t *testing.T) {
+	v := uint64(0xFEEDFACE12345678)
+	for bit := 0; bit < 8; bit++ {
+		cw := EncodeWord(v)
+		cw[8] ^= 1 << uint(bit)
+		got, corrected, err := DecodeWord(cw)
+		if err != nil {
+			t.Fatalf("check bit %d: %v", bit, err)
+		}
+		if !corrected || got != v {
+			t.Fatalf("check bit %d not handled: got %x", bit, got)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	v := uint64(0x5555AAAA3333CCCC)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		cw := EncodeWord(v)
+		b1 := rng.Intn(72)
+		b2 := rng.Intn(72)
+		for b2 == b1 {
+			b2 = rng.Intn(72)
+		}
+		cw[b1/8] ^= 1 << uint(b1%8)
+		cw[b2/8] ^= 1 << uint(b2%8)
+		_, _, err := DecodeWord(cw)
+		if err != ErrDoubleBit {
+			t.Fatalf("double flip (%d,%d) not detected: err=%v", b1, b2, err)
+		}
+	}
+}
+
+// Property: any value survives any single-bit flip of its codeword.
+func TestSingleBitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		v := rng.Uint64()
+		bit := rng.Intn(72)
+		cw := EncodeWord(v)
+		cw[bit/8] ^= 1 << uint(bit%8)
+		got, _, err := DecodeWord(cw)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceEncodeDecode(t *testing.T) {
+	data := []byte("the legato toolset protects BRAM words with SECDED")
+	enc := Encode(data)
+	if len(enc)%CodewordBytes != 0 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	dec, stats, err := Decode(enc, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrected != 0 || stats.Uncorrected != 0 {
+		t.Fatalf("clean decode reported errors: %+v", stats)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestSliceCorrection(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	enc := Encode(data)
+	// Flip one bit in each of five different words.
+	for w := 0; w < 5; w++ {
+		enc[w*CodewordBytes*3+w] ^= 0x10
+	}
+	dec, stats, err := Decode(enc, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrected != 5 {
+		t.Fatalf("corrected %d of 5", stats.Corrected)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("correction failed")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 10), 8); err == nil {
+		t.Fatal("bad encoded length accepted")
+	}
+	if _, _, err := Decode(make([]byte, 9), 100); err == nil {
+		t.Fatal("impossible original length accepted")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead() != 1.125 {
+		t.Fatalf("overhead: %v", Overhead())
+	}
+}

@@ -1,0 +1,113 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"legato/internal/sim"
+)
+
+func TestMeterIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "cpu")
+	m.SetPower(100)
+	eng.Schedule(sim.Seconds(2), func() { m.SetPower(50) })
+	eng.Schedule(sim.Seconds(4), func() { m.SetPower(0) })
+	eng.Run()
+	// 100W * 2s + 50W * 2s = 300 J
+	if e := m.Energy(); math.Abs(e-300) > 1e-9 {
+		t.Fatalf("energy: got %v want 300", e)
+	}
+	if m.PeakPower() != 100 {
+		t.Fatalf("peak: got %v want 100", m.PeakPower())
+	}
+}
+
+func TestMeterAddPower(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "node")
+	m.SetPower(10)
+	m.AddPower(5)
+	if m.Power() != 15 {
+		t.Fatalf("power after add: %v", m.Power())
+	}
+	m.AddPower(-15)
+	if m.Power() != 0 {
+		t.Fatalf("power after subtract: %v", m.Power())
+	}
+}
+
+func TestMeterAddEnergy(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "x")
+	m.AddEnergy(42)
+	if m.Energy() != 42 {
+		t.Fatalf("one-shot energy: %v", m.Energy())
+	}
+}
+
+func TestMeterIdleAccruesNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "idle")
+	eng.Schedule(sim.Seconds(10), func() {})
+	eng.Run()
+	if m.Energy() != 0 {
+		t.Fatalf("idle meter accrued %v J", m.Energy())
+	}
+}
+
+func TestMeterSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "s")
+	m.EnableSampling()
+	m.SetPower(1)
+	eng.Schedule(sim.Seconds(1), func() { m.SetPower(2) })
+	eng.Run()
+	if n := len(m.Samples()); n != 2 {
+		t.Fatalf("samples: got %d want 2", n)
+	}
+	if m.Samples()[1].Power != 2 || m.Samples()[1].At != sim.Seconds(1) {
+		t.Fatalf("second sample wrong: %+v", m.Samples()[1])
+	}
+}
+
+func TestAggregateProbe(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewMeter(eng, "a")
+	b := NewMeter(eng, "b")
+	a.SetPower(30)
+	b.SetPower(12)
+	agg := &Aggregate{Name: "pdu0", Probes: []Probe{MeterProbe{a}, MeterProbe{b}}}
+	if agg.Read() != 42 {
+		t.Fatalf("aggregate read: %v", agg.Read())
+	}
+	if agg.ProbeName() != "pdu0" {
+		t.Fatalf("aggregate name: %v", agg.ProbeName())
+	}
+	mp := MeterProbe{a}
+	if mp.ProbeName() != "a" {
+		t.Fatalf("meter probe name: %v", mp.ProbeName())
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewReport()
+	r.Add("gpu", 10)
+	r.Add("cpu", 5)
+	r.Add("gpu", 2.5)
+	if r.Get("gpu") != 12.5 {
+		t.Fatalf("gpu energy: %v", r.Get("gpu"))
+	}
+	if r.Total() != 17.5 {
+		t.Fatalf("total: %v", r.Total())
+	}
+	s := r.String()
+	if !strings.Contains(s, "gpu") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("report rendering missing rows:\n%s", s)
+	}
+	// cpu sorts before gpu.
+	if strings.Index(s, "cpu") > strings.Index(s, "gpu") {
+		t.Fatal("report rows not sorted")
+	}
+}

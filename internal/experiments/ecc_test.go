@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestECCMitigation(t *testing.T) {
+	rows, err := ECCMitigation(64<<10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("sweep too short: %d", len(rows))
+	}
+	// In the guardband both stores are clean.
+	if rows[0].PlainBadWords != 0 || rows[0].ECCBadWords != 0 {
+		t.Fatalf("corruption at nominal voltage: %+v", rows[0])
+	}
+	// Deep in the critical region the raw store corrupts; ECC must correct
+	// (residual strictly below raw, and corrections actually happened).
+	last := rows[len(rows)-1]
+	if last.FaultsPerMbit == 0 {
+		t.Fatal("sweep never reached the critical region")
+	}
+	sawRawCorruption := false
+	for _, r := range rows {
+		if r.PlainBadWords > 0 {
+			sawRawCorruption = true
+			if r.ECCBadWords > r.PlainBadWords {
+				t.Fatalf("ECC worse than raw at %.2f V: %+v", r.Voltage, r)
+			}
+		}
+	}
+	if !sawRawCorruption {
+		t.Fatal("payload never hit by faults — enlarge the payload")
+	}
+	totalCorrected := 0
+	totalECCBad := 0
+	totalRawBad := 0
+	for _, r := range rows {
+		totalCorrected += r.Corrected
+		totalECCBad += r.ECCBadWords
+		totalRawBad += r.PlainBadWords
+	}
+	if totalCorrected == 0 {
+		t.Fatal("ECC corrected nothing across the sweep")
+	}
+	if totalECCBad*10 > totalRawBad {
+		t.Fatalf("ECC left too much residual corruption: %d vs raw %d", totalECCBad, totalRawBad)
+	}
+	if !strings.Contains(ECCTable(rows), "overhead") {
+		t.Fatal("table broken")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig5Experiment(t *testing.T) {
+	res, err := Fig5(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("boards: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if math.Abs(row.FaultsAtCrash-row.PaperFaults)/row.PaperFaults > 0.05 {
+			t.Fatalf("%s: measured %.1f faults/Mbit vs paper %.0f",
+				row.Board, row.FaultsAtCrash, row.PaperFaults)
+		}
+	}
+	// VC707 shows >90% saving.
+	for _, row := range res.Rows {
+		if row.Board == "VC707" && row.MaxSavingPercent <= 90 {
+			t.Fatalf("VC707 saving %.1f%%, paper >90%%", row.MaxSavingPercent)
+		}
+	}
+	if !strings.Contains(res.Table(), "VC707") {
+		t.Fatal("table missing VC707")
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	// Scaled-down node sweep for test speed; the bench runs the full one.
+	res, err := Fig6([]int{1, 4}, []float64{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows[16]
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Paper: 12.05× checkpoint, 5.13× recovery overhead reduction.
+	if s := res.SpeedupCkpt(16); s < 9 || s > 15 {
+		t.Fatalf("checkpoint speedup %.2f outside the published neighbourhood of 12.05", s)
+	}
+	if s := res.SpeedupRec(16); s < 4 || s > 7 {
+		t.Fatalf("recovery speedup %.2f outside the published neighbourhood of 5.13", s)
+	}
+	// Weak scaling: overhead flat with node count (within 15%).
+	for _, m := range []func(Fig6Row) float64{
+		func(r Fig6Row) float64 { return r.CkptInitial },
+		func(r Fig6Row) float64 { return r.CkptAsync },
+		func(r Fig6Row) float64 { return r.RecInitial },
+		func(r Fig6Row) float64 { return r.RecAsync },
+	} {
+		a, b := m(rows[0]), m(rows[1])
+		if math.Abs(a-b)/math.Max(a, b) > 0.15 {
+			t.Fatalf("weak scaling broken: 1 node %.2fs vs 4 nodes %.2fs", a, b)
+		}
+	}
+	if !strings.Contains(res.Table(), "ckpt-async") {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"legato/internal/fti"
+	"legato/internal/gpu"
+	"legato/internal/heat2d"
+	"legato/internal/mpi"
+	"legato/internal/sim"
+)
+
+// Fig6Row is one bar group of Fig. 6: a node count under one problem size,
+// with checkpoint and recovery times for the initial and async methods.
+type Fig6Row struct {
+	Nodes       int
+	Ranks       int
+	TotalGB     float64
+	CkptInitial float64 // seconds
+	CkptAsync   float64
+	RecInitial  float64
+	RecAsync    float64
+}
+
+// Fig6Result is the full figure: one series per problem size.
+type Fig6Result struct {
+	PerProcGB []float64
+	Rows      map[float64][]Fig6Row
+}
+
+// ranksPerNode matches the paper's testbed: "in each node we execute
+// 4 processes, one per GPU device".
+const ranksPerNode = 4
+
+// Fig6 reproduces the checkpoint/restart experiment of Sec. IV: Heat2D in
+// UVM allocations, weak-scaled over the given node counts, checkpointing
+// perProcGB gigabytes per process, for both the initial and the async FTI
+// implementations.
+func Fig6(nodeCounts []int, perProcGBs []float64) (*Fig6Result, error) {
+	res := &Fig6Result{PerProcGB: perProcGBs, Rows: make(map[float64][]Fig6Row)}
+	for _, gb := range perProcGBs {
+		for _, nodes := range nodeCounts {
+			row := Fig6Row{Nodes: nodes, Ranks: nodes * ranksPerNode,
+				TotalGB: gb * float64(nodes*ranksPerNode)}
+			for _, m := range []fti.Method{fti.Initial, fti.Async} {
+				ck, rec, err := fig6Point(nodes, gb, m)
+				if err != nil {
+					return nil, err
+				}
+				if m == fti.Initial {
+					row.CkptInitial, row.RecInitial = ck, rec
+				} else {
+					row.CkptAsync, row.RecAsync = ck, rec
+				}
+			}
+			res.Rows[gb] = append(res.Rows[gb], row)
+		}
+	}
+	return res, nil
+}
+
+// fig6Point measures one (nodes, size, method) cell: the max-over-ranks
+// checkpoint time from a run that takes one checkpoint, and the recovery
+// time of a restarted run against the same store.
+func fig6Point(nodes int, perProcGB float64, m fti.Method) (ckptSec, recSec float64, err error) {
+	ranks := nodes * ranksPerNode
+	perBufBytes := int64(perProcGB * 1e9 / 2) // two protected buffers per rank
+
+	params := heat2d.Params{
+		Iters:               5,
+		Phantom:             true,
+		PhantomBytesPerRank: perBufBytes,
+		KernelGOPS:          1, // compute negligible next to C/R
+		FTI: fti.Config{
+			GroupSize: ranksPerNode,
+			CkptEvery: 5, // exactly one checkpoint in 5 iterations
+			Method:    m,
+			L2Every:   0, L3Every: 0, L4Every: 0, // pure L1, as in the Fig. 6 runs
+		},
+		GPU: gpu.Config{MemBytes: 64 << 30},
+	}
+	// Defaults put L2Every=2, L3Every=4 back; force pure L1 by setting the
+	// schedule to impossible periods.
+	params.FTI.L2Every = -1
+	params.FTI.L3Every = -1
+
+	// Run 1: checkpoint.
+	eng := sim.NewEngine()
+	world, err := mpi.NewWorld(eng, mpi.Config{Size: ranks, RanksPerNode: ranksPerNode})
+	if err != nil {
+		return 0, 0, err
+	}
+	store, err := fti.NewStore(eng, fti.StoreConfig{Nodes: nodes})
+	if err != nil {
+		return 0, 0, err
+	}
+	res1, err := heat2d.Run(eng, world, store, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	var maxCkpt sim.Time
+	for _, r := range res1 {
+		if t := r.Stats.LastCkptTime(); t > maxCkpt {
+			maxCkpt = t
+		}
+	}
+
+	// Run 2: restart and recover against the same store.
+	eng2 := sim.NewEngine()
+	world2, err := mpi.NewWorld(eng2, mpi.Config{Size: ranks, RanksPerNode: ranksPerNode})
+	if err != nil {
+		return 0, 0, err
+	}
+	store.Rebind(eng2)
+	res2, err := heat2d.Run(eng2, world2, store, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	var maxRec sim.Time
+	for _, r := range res2 {
+		if t := r.Stats.LastRecoverTime(); t > maxRec {
+			maxRec = t
+		}
+	}
+	return sim.ToSeconds(maxCkpt), sim.ToSeconds(maxRec), nil
+}
+
+// SpeedupCkpt returns initial/async checkpoint time averaged over rows.
+func (r *Fig6Result) SpeedupCkpt(gb float64) float64 {
+	rows := r.Rows[gb]
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, row := range rows {
+		s += row.CkptInitial / row.CkptAsync
+	}
+	return s / float64(len(rows))
+}
+
+// SpeedupRec returns initial/async recovery time averaged over rows.
+func (r *Fig6Result) SpeedupRec(gb float64) float64 {
+	rows := r.Rows[gb]
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, row := range rows {
+		s += row.RecInitial / row.RecAsync
+	}
+	return s / float64(len(rows))
+}
+
+// Table renders the figure in the paper's layout: one panel per problem
+// size, bars per node count.
+func (r *Fig6Result) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6 — Heat2D checkpoint/restart time (seconds)\n")
+	for _, gb := range r.PerProcGB {
+		fmt.Fprintf(&sb, "\n%.0f GB per process (4 processes/node):\n", gb)
+		fmt.Fprintf(&sb, "%7s %8s %10s %12s %12s %12s %12s\n",
+			"nodes", "ranks", "total GB", "ckpt-init", "ckpt-async", "rec-init", "rec-async")
+		for _, row := range r.Rows[gb] {
+			fmt.Fprintf(&sb, "%7d %8d %10.0f %12.2f %12.2f %12.2f %12.2f\n",
+				row.Nodes, row.Ranks, row.TotalGB,
+				row.CkptInitial, row.CkptAsync, row.RecInitial, row.RecAsync)
+		}
+		fmt.Fprintf(&sb, "speedup: checkpoint %.2fx (paper 12.05x), recover %.2fx (paper 5.13x)\n",
+			r.SpeedupCkpt(gb), r.SpeedupRec(gb))
+	}
+	return sb.String()
+}

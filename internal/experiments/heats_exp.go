@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"legato/internal/cluster"
+	"legato/internal/heats"
+	"legato/internal/hw"
+	"legato/internal/monitor"
+	"legato/internal/sim"
+)
+
+// HEATSRow is one α point of the trade-off sweep (Fig. 7 behaviour / [10]).
+type HEATSRow struct {
+	Alpha        float64
+	MakespanSec  float64
+	TaskEnergyJ  float64
+	TotalEnergyJ float64
+	Migrations   int
+}
+
+// HEATSResult is the α sweep.
+type HEATSResult struct {
+	Rows []HEATSRow
+}
+
+// HEATS runs the heterogeneity/energy-aware scheduling experiment: a batch
+// of profiled tasks on a mixed x86+ARM cluster, sweeping the customer's
+// energy/performance weight α.
+func HEATS(alphas []float64, tasks int) (*HEATSResult, error) {
+	res := &HEATSResult{}
+	for _, alpha := range alphas {
+		eng := sim.NewEngine()
+		cl := cluster.New(eng)
+		for i := 0; i < 2; i++ {
+			cl.AddNode(fmt.Sprintf("x86-%d", i), hw.XeonD())
+		}
+		for i := 0; i < 2; i++ {
+			cl.AddNode(fmt.Sprintf("arm-%d", i), hw.ARMv8Server())
+		}
+		mon := monitor.New(eng, cl)
+		proto := map[string]*cluster.Task{
+			"batch": {Kind: "batch", CPU: 4, Gops: 200},
+		}
+		model := heats.ProfileCluster(cl, proto)
+		sched := heats.New(eng, cl, mon, model, heats.Config{Alpha: alpha})
+		batch := make([]*cluster.Task, tasks)
+		for i := range batch {
+			batch[i] = &cluster.Task{
+				Name: fmt.Sprintf("task-%d", i), Kind: "batch",
+				CPU: 4, MemBytes: 1 << 28, Gops: 200,
+			}
+		}
+		sched.Submit(batch...)
+		end, err := sched.Run()
+		if err != nil {
+			return nil, err
+		}
+		taskE := 0.0
+		for _, t := range batch {
+			taskE += t.EnergyJ
+		}
+		res.Rows = append(res.Rows, HEATSRow{
+			Alpha:        alpha,
+			MakespanSec:  sim.ToSeconds(end),
+			TaskEnergyJ:  taskE,
+			TotalEnergyJ: cl.TotalEnergy(),
+			Migrations:   sched.Migrations,
+		})
+	}
+	return res, nil
+}
+
+// EnergySavingPercent compares the last α row (energy-first) against the
+// first (performance-first).
+func (r *HEATSResult) EnergySavingPercent() float64 {
+	if len(r.Rows) < 2 {
+		return 0
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.TaskEnergyJ == 0 {
+		return 0
+	}
+	return (1 - last.TaskEnergyJ/first.TaskEnergyJ) * 100
+}
+
+// Table renders the sweep.
+func (r *HEATSResult) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7 / [10] — HEATS energy-performance trade-off (α sweep)\n")
+	fmt.Fprintf(&sb, "%6s %12s %14s %14s %11s\n",
+		"alpha", "makespan s", "task E (J)", "total E (J)", "migrations")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%6.2f %12.2f %14.1f %14.1f %11d\n",
+			row.Alpha, row.MakespanSec, row.TaskEnergyJ, row.TotalEnergyJ, row.Migrations)
+	}
+	fmt.Fprintf(&sb, "energy-first saves %.1f%% task energy vs performance-first\n",
+		r.EnergySavingPercent())
+	return sb.String()
+}

@@ -1,0 +1,269 @@
+package fpga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesPublished(t *testing.T) {
+	for _, p := range AllProfiles() {
+		if p.VNom != 1.0 {
+			t.Fatalf("%s: nominal VCCBRAM must be 1.0 V (28 nm parts), got %v", p.Name, p.VNom)
+		}
+		if !(p.VCrash < p.VMin && p.VMin < p.VNom) {
+			t.Fatalf("%s: voltage ordering broken: crash %v, min %v, nom %v", p.Name, p.VCrash, p.VMin, p.VNom)
+		}
+		if p.FaultsPerMbitAtCrash <= 0 || p.BRAMBlocks <= 0 {
+			t.Fatalf("%s: missing characterisation", p.Name)
+		}
+	}
+}
+
+func TestBoardSafeAtNominal(t *testing.T) {
+	b := NewBoard(ZC702(), 1)
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := b.Write(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := b.Read(100, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("nominal-voltage corruption at byte %d", i)
+		}
+	}
+	if b.FaultCount() != 0 {
+		t.Fatalf("faults at nominal: %d", b.FaultCount())
+	}
+}
+
+func TestBoardGuardbandIsSafe(t *testing.T) {
+	p := ZC702()
+	b := NewBoard(p, 2)
+	b.SetVCCBRAM(p.VMin) // bottom of the guardband: still safe
+	if b.FaultCount() != 0 {
+		t.Fatalf("faults at Vmin: %d (guardband must be fault-free)", b.FaultCount())
+	}
+	if !b.Done() {
+		t.Fatal("DONE dropped within guardband")
+	}
+}
+
+func TestBoardCriticalRegionFaults(t *testing.T) {
+	p := ZC702()
+	b := NewBoard(p, 3)
+	mid := (p.VMin + p.VCrash) / 2
+	b.SetVCCBRAM(mid)
+	if !b.Done() {
+		t.Fatal("board crashed above Vcrash")
+	}
+	if b.FaultCount() == 0 {
+		t.Fatal("no faults in the critical region")
+	}
+	// Fault density at mid-region must be far below the crash density.
+	if b.FaultsPerMbit() >= p.FaultsPerMbitAtCrash {
+		t.Fatalf("mid-region density %v not below crash density %v",
+			b.FaultsPerMbit(), p.FaultsPerMbitAtCrash)
+	}
+}
+
+func TestBoardFaultCountAtCrashMatchesPaper(t *testing.T) {
+	for _, p := range AllProfiles() {
+		b := NewBoard(p, 4)
+		b.SetVCCBRAM(p.VCrash) // last responding voltage
+		got := b.FaultsPerMbit()
+		want := p.FaultsPerMbitAtCrash
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("%s: faults/Mbit at Vcrash: got %.1f want %.1f", p.Name, got, want)
+		}
+	}
+}
+
+func TestBoardCrash(t *testing.T) {
+	p := VC707()
+	b := NewBoard(p, 5)
+	b.SetVCCBRAM(p.VCrash - 0.01)
+	if b.Done() {
+		t.Fatal("DONE still set below Vcrash")
+	}
+	if err := b.Write(0, []byte{1}); err != ErrCrashed {
+		t.Fatalf("write to crashed board: got %v want ErrCrashed", err)
+	}
+	if err := b.Read(0, make([]byte, 1)); err != ErrCrashed {
+		t.Fatalf("read from crashed board: got %v want ErrCrashed", err)
+	}
+	// Raising voltage alone does not revive the board...
+	b.SetVCCBRAM(p.VNom)
+	if b.Done() {
+		t.Fatal("board revived without reconfiguration")
+	}
+	// ...reconfiguration does.
+	b.Reconfigure()
+	if !b.Done() {
+		t.Fatal("reconfigure did not restore DONE")
+	}
+	if b.FaultCount() != 0 {
+		t.Fatal("faults at nominal after reconfigure")
+	}
+}
+
+func TestReconfigureRestoresFaultMaskAtLowVoltage(t *testing.T) {
+	p := ZC702()
+	b := NewBoard(p, 6)
+	mid := (p.VMin + p.VCrash) / 2
+	b.SetVCCBRAM(mid)
+	want := b.FaultCount()
+	b.SetVCCBRAM(p.VCrash - 0.05) // crash
+	b.SetVCCBRAM(mid)             // back up, still dead
+	if b.Done() {
+		t.Fatal("board alive without reconfigure")
+	}
+	b.Reconfigure()
+	if !b.Done() {
+		t.Fatal("reconfigure failed")
+	}
+	if got := b.FaultCount(); got != want {
+		t.Fatalf("fault set after reconfigure: got %d want %d", got, want)
+	}
+}
+
+func TestFaultMonotonicity(t *testing.T) {
+	p := KC705A()
+	b := NewBoard(p, 7)
+	prev := -1
+	for v := p.VMin; v >= p.VCrash; v -= 0.005 {
+		b.SetVCCBRAM(v)
+		n := b.FaultCount()
+		if n < prev {
+			t.Fatalf("fault count decreased from %d to %d at %.3f V", prev, n, v)
+		}
+		prev = n
+	}
+}
+
+func TestFaultRateExponentialShape(t *testing.T) {
+	p := VC707()
+	b := NewBoard(p, 8)
+	// Sample density at three equally spaced voltages in the critical
+	// region; exponential growth means ratios between consecutive samples
+	// are roughly equal and > 1.
+	span := p.VMin - p.VCrash
+	var d [3]float64
+	for i, f := range []float64{0.75, 0.5, 0.25} {
+		b.SetVCCBRAM(p.VCrash + span*f)
+		d[i] = b.FaultsPerMbit()
+	}
+	if !(d[0] < d[1] && d[1] < d[2]) {
+		t.Fatalf("density not increasing: %v", d)
+	}
+	r1, r2 := d[1]/d[0], d[2]/d[1]
+	if r1 < 1.5 || r2 < 1.5 {
+		t.Fatalf("growth not exponential-like: ratios %v %v", r1, r2)
+	}
+	if math.Abs(math.Log(r1)-math.Log(r2)) > 0.35 {
+		t.Fatalf("log-ratios diverge too much for an exponential: %v vs %v", r1, r2)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	p := VC707()
+	b := NewBoard(p, 9)
+	if math.Abs(b.RailPower()-p.NominalRailWatts) > 1e-12 {
+		t.Fatalf("nominal rail power: %v", b.RailPower())
+	}
+	b.SetVCCBRAM(p.VCrash)
+	saving := b.PowerSavingPercent()
+	if saving <= 90 {
+		t.Fatalf("saving at Vcrash: got %.1f%%, paper reports >90%%", saving)
+	}
+	// Power must decrease monotonically with voltage.
+	prev := math.Inf(1)
+	for v := p.VNom; v >= p.VCrash; v -= 0.01 {
+		b2 := NewBoard(p, 9)
+		b2.SetVCCBRAM(v)
+		if pw := b2.RailPower(); pw > prev {
+			t.Fatalf("power increased while undervolting at %.2f V", v)
+		} else {
+			prev = pw
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	p := ZC702()
+	a := NewBoard(p, 42)
+	b := NewBoard(p, 42)
+	mid := (p.VMin + p.VCrash) / 2
+	a.SetVCCBRAM(mid)
+	b.SetVCCBRAM(mid)
+	bufA := make([]byte, a.MemBytes())
+	bufB := make([]byte, b.MemBytes())
+	if err := a.Read(0, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Read(0, bufB); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufA {
+		if bufA[i] != bufB[i] {
+			t.Fatalf("same-seed boards diverge at byte %d", i)
+		}
+	}
+	c := NewBoard(p, 43)
+	c.SetVCCBRAM(mid)
+	if a.FaultCount() != c.FaultCount() {
+		// Counts must match (law-driven), positions differ.
+		t.Fatalf("fault count should be seed-independent: %d vs %d", a.FaultCount(), c.FaultCount())
+	}
+}
+
+func TestReadWriteBounds(t *testing.T) {
+	b := NewBoard(ZC702(), 10)
+	if err := b.Write(int64(b.MemBytes())-1, []byte{1, 2}); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := b.Read(-1, make([]byte, 1)); err == nil {
+		t.Fatal("negative-offset read accepted")
+	}
+}
+
+// Property: at any voltage in the critical region, a write-then-read of
+// random data differs from the original in exactly the board's faulty bits
+// that fall inside the window.
+func TestFaultsAreXORStable(t *testing.T) {
+	p := ZC702()
+	b := NewBoard(p, 11)
+	rng := rand.New(rand.NewSource(12))
+	f := func() bool {
+		v := p.VCrash + rng.Float64()*(p.VMin-p.VCrash)
+		b.SetVCCBRAM(v)
+		data := make([]byte, 4096)
+		rng.Read(data)
+		off := int64(rng.Intn(b.MemBytes() - len(data)))
+		if err := b.Write(off, data); err != nil {
+			return false
+		}
+		got1 := make([]byte, len(data))
+		got2 := make([]byte, len(data))
+		if err := b.Read(off, got1); err != nil {
+			return false
+		}
+		if err := b.Read(off, got2); err != nil {
+			return false
+		}
+		// Faults are stable: two reads agree.
+		for i := range got1 {
+			if got1[i] != got2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package heat2d implements the Heat2D benchmark used to evaluate the FTI
+// GPU/CPU checkpoint extension (paper Sec. IV, Fig. 6): a Jacobi heat
+// diffusion solver on a row-decomposed 2-D grid, one MPI rank per GPU,
+// state held in UVM (managed) allocations exactly as in Listing 1, with
+// halo exchange between neighbouring ranks and FTI snapshots in the main
+// loop.
+//
+// Two modes share one code path:
+//
+//   - real mode: the grid holds live float64 data inside the managed
+//     buffer, the kernel does the actual sweep, and checkpoint/recovery
+//     correctness is verified bit-for-bit;
+//   - phantom mode: buffers are size-only (terabyte-scale Fig. 6 runs),
+//     kernels charge modelled time, and only the timing series is produced.
+package heat2d
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"legato/internal/fti"
+	"legato/internal/gpu"
+	"legato/internal/mpi"
+	"legato/internal/sim"
+)
+
+// Grid is a float64 matrix view over a (managed) GPU buffer, including one
+// halo row above and below the local domain.
+type Grid struct {
+	buf  *gpu.Buffer
+	rows int // local rows + 2 halo rows
+	cols int
+}
+
+// NewGrid wraps buf as a rows×cols float64 grid.
+func NewGrid(buf *gpu.Buffer, rows, cols int) (*Grid, error) {
+	if need := int64(rows) * int64(cols) * 8; buf.Len() < need {
+		return nil, fmt.Errorf("heat2d: buffer %d bytes, grid needs %d", buf.Len(), need)
+	}
+	return &Grid{buf: buf, rows: rows, cols: cols}, nil
+}
+
+// At reads element (i, j).
+func (g *Grid) At(i, j int) float64 {
+	off := (i*g.cols + j) * 8
+	return math.Float64frombits(binary.LittleEndian.Uint64(g.buf.DeviceData()[off:]))
+}
+
+// Set writes element (i, j).
+func (g *Grid) Set(i, j int, v float64) {
+	off := (i*g.cols + j) * 8
+	binary.LittleEndian.PutUint64(g.buf.DeviceData()[off:], math.Float64bits(v))
+}
+
+// Row returns a copy of row i as float64s.
+func (g *Grid) Row(i int) []float64 {
+	out := make([]float64, g.cols)
+	for j := 0; j < g.cols; j++ {
+		out[j] = g.At(i, j)
+	}
+	return out
+}
+
+// SetRow writes a full row.
+func (g *Grid) SetRow(i int, vals []float64) {
+	for j := 0; j < g.cols && j < len(vals); j++ {
+		g.Set(i, j, vals[j])
+	}
+}
+
+// Params configures a Heat2D run.
+type Params struct {
+	// NX is the global row count, split evenly across ranks; NY is the
+	// column count. Ignored in phantom mode.
+	NX, NY int
+	// Iters is the iteration count.
+	Iters int
+	// HotTemp is the fixed top-boundary temperature (default 100).
+	HotTemp float64
+	// FTI is the checkpoint configuration.
+	FTI fti.Config
+	// CkptEveryOverride, when > 0, overrides FTI.CkptEvery.
+	CkptEveryOverride int
+	// Phantom switches to size-only buffers of PhantomBytesPerRank each
+	// (two buffers per rank, matching h and g of Listing 1).
+	Phantom bool
+	// PhantomBytesPerRank is the per-buffer size in phantom mode.
+	PhantomBytesPerRank int64
+	// KernelGOPS is the per-iteration kernel cost in phantom mode.
+	KernelGOPS float64
+	// FailAtIter, when > 0, makes every rank stop (simulated crash) after
+	// completing that iteration.
+	FailAtIter int
+	// GPU is the device configuration (one device per rank).
+	GPU gpu.Config
+}
+
+// RankResult is one rank's outcome.
+type RankResult struct {
+	Rank      int
+	Stats     fti.Stats
+	Recovered bool
+	// Checksum summarises the final grid (real mode only).
+	Checksum float64
+	// IterDone is the last completed iteration.
+	IterDone int
+}
+
+// Run executes Heat2D across the given world, one GPU per rank, using the
+// shared store for checkpoints. It returns per-rank results indexed by rank.
+func Run(eng *sim.Engine, world *mpi.World, store *fti.Store, p Params) ([]RankResult, error) {
+	if p.HotTemp == 0 {
+		p.HotTemp = 100
+	}
+	if p.CkptEveryOverride > 0 {
+		p.FTI.CkptEvery = p.CkptEveryOverride
+	}
+	results := make([]RankResult, world.Size())
+	errs := make([]error, world.Size())
+	runErr := world.Run(func(r *mpi.Rank) {
+		res, err := runRank(eng, r, store, p)
+		results[r.Rank()] = res
+		errs[r.Rank()] = err
+	})
+	if runErr != nil {
+		return results, runErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+func runRank(eng *sim.Engine, r *mpi.Rank, store *fti.Store, p Params) (RankResult, error) {
+	res := RankResult{Rank: r.Rank()}
+	dev := gpu.New(eng, p.GPU)
+
+	var h, g *gpu.Buffer
+	var hg, gg *Grid
+	var localRows, cols int
+	var err error
+	if p.Phantom {
+		h, err = dev.MallocManagedPhantom(p.PhantomBytesPerRank)
+		if err != nil {
+			return res, err
+		}
+		g, err = dev.MallocManagedPhantom(p.PhantomBytesPerRank)
+		if err != nil {
+			return res, err
+		}
+	} else {
+		if p.NX%r.Size() != 0 {
+			return res, fmt.Errorf("heat2d: NX=%d not divisible by %d ranks", p.NX, r.Size())
+		}
+		localRows = p.NX / r.Size()
+		cols = p.NY
+		bytes := int64(localRows+2) * int64(cols) * 8
+		if h, err = dev.MallocManaged(bytes); err != nil {
+			return res, err
+		}
+		if g, err = dev.MallocManaged(bytes); err != nil {
+			return res, err
+		}
+		if hg, err = NewGrid(h, localRows+2, cols); err != nil {
+			return res, err
+		}
+		if gg, err = NewGrid(g, localRows+2, cols); err != nil {
+			return res, err
+		}
+		initData(r, hg, p.HotTemp)
+		initData(r, gg, p.HotTemp)
+	}
+
+	// FTI_Init / FTI_Protect, as in Listing 1.
+	f, err := fti.Init(p.FTI, r, dev, store)
+	if err != nil {
+		return res, err
+	}
+	iter := 0
+	if err := f.ProtectCounter(0, &iter); err != nil {
+		return res, err
+	}
+	if err := f.Protect(1, h); err != nil {
+		return res, err
+	}
+	if err := f.Protect(2, g); err != nil {
+		return res, err
+	}
+
+	for iter = 0; iter < p.Iters; iter++ {
+		resume, recovered, err := f.Snapshot(iter)
+		if err != nil {
+			return res, err
+		}
+		if recovered {
+			iter = resume
+			res.Recovered = true
+			// Buffer roles alternate each iteration; realign after restart
+			// so the restored "current" buffer is the sweep source again.
+			if iter%2 == 1 {
+				hg, gg = gg, hg
+				h, g = g, h
+			}
+		}
+		if err := step(r, dev, p, hg, gg, localRows, cols); err != nil {
+			return res, err
+		}
+		hg, gg = gg, hg
+		h, g = g, h
+		res.IterDone = iter
+		if p.FailAtIter > 0 && iter == p.FailAtIter {
+			// Simulated crash: leave without Finalize. The store keeps the
+			// committed checkpoints; a subsequent Run restarts from them.
+			res.Stats = f.Stats
+			return res, nil
+		}
+	}
+	f.Finalize()
+	if !p.Phantom {
+		res.Checksum = checksum(hg, localRows, cols)
+	}
+	res.Stats = f.Stats
+	return res, nil
+}
+
+// initData sets the initial condition: top boundary of the global domain
+// held at HotTemp, everything else cold (matching the canonical Heat2D
+// setup — initData of Listing 1, line 11).
+func initData(r *mpi.Rank, g *Grid, hot float64) {
+	for i := 0; i < g.rows; i++ {
+		for j := 0; j < g.cols; j++ {
+			g.Set(i, j, 0)
+		}
+	}
+	if r.Rank() == 0 {
+		for j := 0; j < g.cols; j++ {
+			g.Set(1, j, hot) // first real row of the global top block
+		}
+	}
+}
+
+// step performs one iteration: halo exchange then the Jacobi sweep (the
+// performComputations of Listing 1, line 17).
+func step(r *mpi.Rank, dev *gpu.Device, p Params, src, dst *Grid, localRows, cols int) error {
+	const (
+		tagDown = 100
+		tagUp   = 101
+	)
+	up, down := r.Rank()-1, r.Rank()+1
+
+	if p.Phantom {
+		// Halo rows are modelled only by size.
+		haloBytes := int64(1 << 20)
+		if down < r.Size() {
+			r.ISend(down, tagDown, nil, haloBytes)
+		}
+		if up >= 0 {
+			r.ISend(up, tagUp, nil, haloBytes)
+		}
+		if up >= 0 {
+			r.Recv(up, tagDown)
+		}
+		if down < r.Size() {
+			r.Recv(down, tagUp)
+		}
+		dev.Launch(r.Proc(), p.KernelGOPS, nil)
+		return nil
+	}
+
+	// Send my boundary rows, receive neighbours' into halo rows.
+	if down < r.Size() {
+		r.ISend(down, tagDown, src.Row(localRows), int64(8*cols))
+	}
+	if up >= 0 {
+		r.ISend(up, tagUp, src.Row(1), int64(8*cols))
+	}
+	if up >= 0 {
+		src.SetRow(0, r.Recv(up, tagDown).([]float64))
+	}
+	if down < r.Size() {
+		src.SetRow(localRows+1, r.Recv(down, tagUp).([]float64))
+	}
+
+	// Jacobi sweep as a kernel; cost model scales with the grid.
+	gops := float64(localRows*cols) * 5e-9 // 5 flops per cell
+	dev.Launch(r.Proc(), gops, func() {
+		for i := 1; i <= localRows; i++ {
+			for j := 0; j < cols; j++ {
+				left, right := j-1, j+1
+				var l, rt float64
+				if left >= 0 {
+					l = src.At(i, left)
+				}
+				if right < cols {
+					rt = src.At(i, right)
+				}
+				v := 0.25 * (src.At(i-1, j) + src.At(i+1, j) + l + rt)
+				dst.Set(i, j, v)
+			}
+		}
+		// Fixed boundary: rank 0's first row stays hot.
+		if r.Rank() == 0 {
+			for j := 0; j < cols; j++ {
+				dst.Set(1, j, p.HotTemp)
+			}
+		}
+	})
+	return nil
+}
+
+// checksum folds the local domain into one number for cross-run comparison.
+func checksum(g *Grid, localRows, cols int) float64 {
+	s := 0.0
+	for i := 1; i <= localRows; i++ {
+		for j := 0; j < cols; j++ {
+			s += g.At(i, j) * float64(i*31+j)
+		}
+	}
+	return s
+}
+
+// Reference computes the same global sweep serially (single domain, no
+// decomposition) and returns the per-rank checksums it implies; used to
+// validate the distributed solver.
+func Reference(nx, ny, iters, ranks int, hot float64) []float64 {
+	cur := make([][]float64, nx)
+	next := make([][]float64, nx)
+	for i := range cur {
+		cur[i] = make([]float64, ny)
+		next[i] = make([]float64, ny)
+	}
+	for j := 0; j < ny; j++ {
+		cur[0][j] = hot
+	}
+	at := func(g [][]float64, i, j int) float64 {
+		if i < 0 || i >= nx || j < 0 || j >= ny {
+			return 0
+		}
+		return g[i][j]
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				next[i][j] = 0.25 * (at(cur, i-1, j) + at(cur, i+1, j) + at(cur, i, j-1) + at(cur, i, j+1))
+			}
+		}
+		for j := 0; j < ny; j++ {
+			next[0][j] = hot
+		}
+		cur, next = next, cur
+	}
+	local := nx / ranks
+	sums := make([]float64, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		s := 0.0
+		for i := 0; i < local; i++ {
+			for j := 0; j < ny; j++ {
+				s += cur[rank*local+i][j] * float64((i+1)*31+j)
+			}
+		}
+		sums[rank] = s
+	}
+	return sums
+}

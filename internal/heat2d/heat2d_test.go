@@ -1,0 +1,172 @@
+package heat2d
+
+import (
+	"math"
+	"testing"
+
+	"legato/internal/fti"
+	"legato/internal/gpu"
+	"legato/internal/mpi"
+	"legato/internal/sim"
+)
+
+func run(t *testing.T, ranks, nodes int, p Params, st *fti.Store) ([]RankResult, *fti.Store) {
+	t.Helper()
+	eng := sim.NewEngine()
+	w, err := mpi.NewWorld(eng, mpi.Config{Size: ranks, RanksPerNode: (ranks + nodes - 1) / nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		st, err = fti.NewStore(eng, fti.StoreConfig{Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		st.Rebind(eng)
+	}
+	res, err := Run(eng, w, st, p)
+	if err != nil {
+		t.Fatalf("heat2d run: %v", err)
+	}
+	return res, st
+}
+
+func baseParams() Params {
+	return Params{
+		NX: 32, NY: 16, Iters: 12,
+		FTI: fti.Config{GroupSize: 2, CkptEvery: 4},
+		GPU: gpu.Config{},
+	}
+}
+
+func TestMatchesSerialReference(t *testing.T) {
+	const ranks = 4
+	p := baseParams()
+	res, _ := run(t, ranks, ranks, p, nil)
+	want := Reference(p.NX, p.NY, p.Iters, ranks, 100)
+	for r := 0; r < ranks; r++ {
+		if math.Abs(res[r].Checksum-want[r]) > 1e-6*math.Abs(want[r])+1e-9 {
+			t.Fatalf("rank %d checksum %.9f, serial reference %.9f", r, res[r].Checksum, want[r])
+		}
+	}
+}
+
+func TestSingleRankMatchesReference(t *testing.T) {
+	p := baseParams()
+	p.FTI.GroupSize = 1
+	res, _ := run(t, 1, 1, p, nil)
+	want := Reference(p.NX, p.NY, p.Iters, 1, 100)
+	if math.Abs(res[0].Checksum-want[0]) > 1e-6*math.Abs(want[0]) {
+		t.Fatalf("checksum %.9f, reference %.9f", res[0].Checksum, want[0])
+	}
+}
+
+func TestHeatPropagatesDownward(t *testing.T) {
+	p := baseParams()
+	p.Iters = 30
+	res, _ := run(t, 2, 2, p, nil)
+	// After 30 iterations, heat from the hot top row must have reached the
+	// second rank's domain (checksum > 0).
+	if res[1].Checksum <= 0 {
+		t.Fatalf("no heat reached rank 1 after %d iterations (checksum %v)", p.Iters, res[1].Checksum)
+	}
+}
+
+func TestCheckpointsHappen(t *testing.T) {
+	p := baseParams()
+	res, _ := run(t, 2, 2, p, nil)
+	// 12 iterations, checkpoint every 4 snapshots → 3 checkpoints.
+	for _, r := range res {
+		if r.Stats.Checkpoints != 3 {
+			t.Fatalf("rank %d: %d checkpoints, want 3", r.Rank, r.Stats.Checkpoints)
+		}
+	}
+}
+
+func TestCrashAndRecoverMatchesUninterrupted(t *testing.T) {
+	const ranks = 4
+	p := baseParams()
+	p.Iters = 16
+	p.FTI.CkptEvery = 5
+
+	// Reference: uninterrupted run.
+	ref, _ := run(t, ranks, ranks, p, nil)
+
+	// Crashed run: fail after iteration 11 (checkpoints at snapshot 5 and
+	// 10 → last covers iteration 9).
+	pc := p
+	pc.FailAtIter = 11
+	_, st := run(t, ranks, ranks, pc, nil)
+
+	// Restarted run against the same store: recovers and completes.
+	pr := p
+	res2, _ := run(t, ranks, ranks, pr, st)
+	for r := 0; r < ranks; r++ {
+		if !res2[r].Recovered {
+			t.Fatalf("rank %d did not take the recovery path", r)
+		}
+		if math.Abs(res2[r].Checksum-ref[r].Checksum) > 1e-9*math.Abs(ref[r].Checksum)+1e-12 {
+			t.Fatalf("rank %d: recovered run checksum %.12f != uninterrupted %.12f",
+				r, res2[r].Checksum, ref[r].Checksum)
+		}
+	}
+}
+
+func TestCrashRecoverWithNodeLossUsesL2(t *testing.T) {
+	const ranks = 4
+	p := baseParams()
+	p.Iters = 16
+	p.FTI.CkptEvery = 5
+	p.FTI.L2Every = 1 // every checkpoint carries a partner copy
+
+	ref, _ := run(t, ranks, ranks, p, nil)
+
+	pc := p
+	pc.FailAtIter = 11
+	_, st := run(t, ranks, ranks, pc, nil)
+	st.FailNode(2) // rank 2 loses its local checkpoints
+
+	res2, _ := run(t, ranks, ranks, p, st)
+	for r := 0; r < ranks; r++ {
+		if math.Abs(res2[r].Checksum-ref[r].Checksum) > 1e-9*math.Abs(ref[r].Checksum)+1e-12 {
+			t.Fatalf("rank %d after node loss: checksum %.12f != %.12f",
+				r, res2[r].Checksum, ref[r].Checksum)
+		}
+	}
+}
+
+func TestPhantomModeProducesTimingOnly(t *testing.T) {
+	p := Params{
+		Iters:               10,
+		Phantom:             true,
+		PhantomBytesPerRank: 1 << 30,
+		KernelGOPS:          10,
+		FTI:                 fti.Config{GroupSize: 2, CkptEvery: 5, Method: fti.Async},
+		GPU:                 gpu.Config{MemBytes: 4 << 30},
+	}
+	res, _ := run(t, 2, 2, p, nil)
+	for _, r := range res {
+		if r.Stats.Checkpoints != 2 {
+			t.Fatalf("rank %d phantom checkpoints: %d", r.Rank, r.Stats.Checkpoints)
+		}
+		if r.Stats.LastCkptTime() <= 0 {
+			t.Fatal("phantom checkpoint cost no simulated time")
+		}
+		if r.Checksum != 0 {
+			t.Fatal("phantom mode computed a checksum")
+		}
+	}
+}
+
+func TestInvalidDecompositionRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	w, _ := mpi.NewWorld(eng, mpi.Config{Size: 3})
+	st, _ := fti.NewStore(eng, fti.StoreConfig{Nodes: 3})
+	p := baseParams()
+	p.NX = 32 // not divisible by 3
+	p.FTI.GroupSize = 3
+	if _, err := Run(eng, w, st, p); err == nil {
+		t.Fatal("indivisible decomposition accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package heats
+
+import (
+	"fmt"
+	"testing"
+
+	"legato/internal/cluster"
+	"legato/internal/hw"
+	"legato/internal/monitor"
+	"legato/internal/sim"
+)
+
+// testbed builds the HEATS evaluation cluster: high-performance x86 nodes
+// plus low-power ARM nodes.
+func testbed(eng *sim.Engine, x86, arm int) *cluster.Cluster {
+	cl := cluster.New(eng)
+	for i := 0; i < x86; i++ {
+		cl.AddNode(fmt.Sprintf("x86-%d", i), hw.XeonD())
+	}
+	for i := 0; i < arm; i++ {
+		cl.AddNode(fmt.Sprintf("arm-%d", i), hw.ARMv8Server())
+	}
+	return cl
+}
+
+func batch(n int, cpu int, gops float64) []*cluster.Task {
+	tasks := make([]*cluster.Task, n)
+	for i := range tasks {
+		tasks[i] = &cluster.Task{
+			Name: fmt.Sprintf("task-%d", i), Kind: "batch",
+			CPU: cpu, MemBytes: 1 << 28, Gops: gops,
+		}
+	}
+	return tasks
+}
+
+func protoKinds() map[string]*cluster.Task {
+	return map[string]*cluster.Task{
+		"batch": {Kind: "batch", CPU: 4, Gops: 200},
+	}
+}
+
+func TestProfileCluster(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testbed(eng, 1, 1)
+	m := ProfileCluster(cl, protoKinds())
+	x, ok := m.Predict("batch", "x86-0")
+	if !ok {
+		t.Fatal("no x86 profile")
+	}
+	a, ok := m.Predict("batch", "arm-0")
+	if !ok {
+		t.Fatal("no arm profile")
+	}
+	// x86 faster, ARM cheaper in energy.
+	if x.Seconds >= a.Seconds {
+		t.Fatalf("x86 (%v s) not faster than arm (%v s)", x.Seconds, a.Seconds)
+	}
+	if a.Joules >= x.Joules {
+		t.Fatalf("arm (%v J) not cheaper than x86 (%v J)", a.Joules, x.Joules)
+	}
+}
+
+// runBatch schedules a batch under alpha and returns makespan seconds and
+// total dynamic task energy.
+func runBatch(t *testing.T, alpha float64) (float64, float64, *Scheduler) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := testbed(eng, 2, 2)
+	mon := monitor.New(eng, cl)
+	model := ProfileCluster(cl, protoKinds())
+	s := New(eng, cl, mon, model, Config{Alpha: alpha})
+	// Six tasks fit the testbed without queueing, so the α trade-off is
+	// visible in the placement itself rather than masked by spillover.
+	tasks := batch(6, 4, 200)
+	s.Submit(tasks...)
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := 0.0
+	for _, task := range tasks {
+		energy += task.EnergyJ
+	}
+	return sim.ToSeconds(end), energy, s
+}
+
+func TestAllTasksComplete(t *testing.T) {
+	_, _, s := runBatch(t, 0.5)
+	if s.Placements < 6 {
+		t.Fatalf("placements: %d", s.Placements)
+	}
+}
+
+func TestAlphaTradesEnergyForTime(t *testing.T) {
+	perfTime, perfEnergy, _ := runBatch(t, 0)
+	ecoTime, ecoEnergy, _ := runBatch(t, 1)
+	if ecoEnergy >= perfEnergy {
+		t.Fatalf("energy-first used more task energy (%.1f J) than perf-first (%.1f J)",
+			ecoEnergy, perfEnergy)
+	}
+	if ecoTime <= perfTime {
+		t.Fatalf("energy-first (%.2f s) not slower than perf-first (%.2f s)", ecoTime, perfTime)
+	}
+}
+
+func TestAlphaSweepMonotone(t *testing.T) {
+	prevEnergy := -1.0
+	for _, alpha := range []float64{0, 0.5, 1} {
+		_, energy, _ := runBatch(t, alpha)
+		if prevEnergy >= 0 && energy > prevEnergy*1.0001 {
+			t.Fatalf("task energy rose along the alpha sweep at α=%v: %.1f > %.1f",
+				alpha, energy, prevEnergy)
+		}
+		prevEnergy = energy
+	}
+}
+
+func TestMigrationImprovesPlacement(t *testing.T) {
+	// One long task starts on a slow node because the fast nodes are full;
+	// when the fast nodes free up, HEATS must migrate it.
+	eng := sim.NewEngine()
+	cl := testbed(eng, 1, 1)
+	mon := monitor.New(eng, cl)
+	model := ProfileCluster(cl, map[string]*cluster.Task{
+		"long":  {Kind: "long", CPU: 8, Gops: 4000},
+		"short": {Kind: "short", CPU: 16, Gops: 400},
+	})
+	s := New(eng, cl, mon, model, Config{Alpha: 0, ReschedulePeriod: 2 * sim.Second})
+	blocker := &cluster.Task{Name: "blocker", Kind: "short", CPU: 16, MemBytes: 1 << 28, Gops: 400}
+	long := &cluster.Task{Name: "long", Kind: "long", CPU: 8, MemBytes: 1 << 28, Gops: 4000}
+	s.Submit(blocker, long)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations == 0 {
+		t.Fatal("no migration despite a better host freeing up")
+	}
+	if long.Migrations() == 0 {
+		t.Fatal("long task was not the one migrated")
+	}
+}
+
+func TestQueuedTaskEventuallyPlaced(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testbed(eng, 1, 0)
+	mon := monitor.New(eng, cl)
+	model := ProfileCluster(cl, protoKinds())
+	s := New(eng, cl, mon, model, Config{Alpha: 0})
+	// Two 16-core tasks on a single 16-core node: strict queueing.
+	a := &cluster.Task{Name: "a", Kind: "batch", CPU: 16, Gops: 400}
+	b := &cluster.Task{Name: "b", Kind: "batch", CPU: 16, Gops: 400}
+	s.Submit(a, b)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() || !b.Done() {
+		t.Fatal("queued task never ran")
+	}
+}
+
+func TestMonitorSeriesRecorded(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testbed(eng, 1, 1)
+	mon := monitor.New(eng, cl)
+	model := ProfileCluster(cl, protoKinds())
+	s := New(eng, cl, mon, model, Config{Alpha: 0.5})
+	s.Submit(batch(4, 4, 100)...)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Series("x86-0")) == 0 {
+		t.Fatal("no monitoring series recorded")
+	}
+	if _, ok := mon.Latest("x86-0"); !ok {
+		t.Fatal("no latest snapshot")
+	}
+	if mon.Report() == "" {
+		t.Fatal("empty report")
+	}
+	if mon.Utilization("x86-0") < 0 {
+		t.Fatal("bad utilization")
+	}
+}

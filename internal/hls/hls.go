@@ -1,0 +1,185 @@
+// Package hls is the LEGaTO compiler/high-level-synthesis layer of paper
+// Sec. II-D: "a toolchain to map applications written in a high-level
+// task-based dataflow language onto such heterogeneous platforms". A tiny
+// expression IR describes per-element stream kernels; Compile lowers a
+// kernel to a dataflow graph (internal/dfe) — the OmpSs@FPGA / Maxeler
+// path — and produces the FPGA resource estimate (LUT/FF/DSP/BRAM) that
+// vendor IP generation (Vivado HLS, Quartus) would report.
+package hls
+
+import (
+	"fmt"
+
+	"legato/internal/dfe"
+)
+
+// Expr is a kernel expression over input streams.
+type Expr interface {
+	// lower builds the expression's dataflow subgraph.
+	lower(g *dfe.Graph) *dfe.Node
+	// cost accumulates the resource estimate.
+	cost(r *Resources)
+}
+
+// Resources is an FPGA utilisation estimate.
+type Resources struct {
+	LUTs  int
+	FFs   int
+	DSPs  int
+	BRAMs int
+}
+
+// Add accumulates another estimate.
+func (r *Resources) Add(o Resources) {
+	r.LUTs += o.LUTs
+	r.FFs += o.FFs
+	r.DSPs += o.DSPs
+	r.BRAMs += o.BRAMs
+}
+
+// FitsIn reports whether the design fits a device with the given budget.
+func (r Resources) FitsIn(budget Resources) bool {
+	return r.LUTs <= budget.LUTs && r.FFs <= budget.FFs &&
+		r.DSPs <= budget.DSPs && r.BRAMs <= budget.BRAMs
+}
+
+// In reads the named input stream.
+type In struct{ Name string }
+
+func (e In) lower(g *dfe.Graph) *dfe.Node { return g.Input(e.Name) }
+func (e In) cost(r *Resources)            { r.FFs += 32 }
+
+// K is a constant.
+type K struct{ V float64 }
+
+func (e K) lower(g *dfe.Graph) *dfe.Node { return g.Const(e.V) }
+func (e K) cost(r *Resources)            { r.LUTs += 8 }
+
+// BinKind enumerates binary operators.
+type BinKind int
+
+const (
+	// AddOp .. DivOp are the arithmetic operators of the kernel IR.
+	AddOp BinKind = iota
+	SubOp
+	MulOp
+	DivOp
+)
+
+// Bin applies a binary operator to two subexpressions.
+type Bin struct {
+	Kind BinKind
+	A, B Expr
+}
+
+func (e Bin) lower(g *dfe.Graph) *dfe.Node {
+	a, b := e.A.lower(g), e.B.lower(g)
+	switch e.Kind {
+	case AddOp:
+		return g.Bin(dfe.OpAdd, a, b)
+	case SubOp:
+		return g.Bin(dfe.OpSub, a, b)
+	case MulOp:
+		return g.Bin(dfe.OpMul, a, b)
+	default:
+		return g.Bin(dfe.OpDiv, a, b)
+	}
+}
+
+func (e Bin) cost(r *Resources) {
+	e.A.cost(r)
+	e.B.cost(r)
+	switch e.Kind {
+	case AddOp, SubOp:
+		r.LUTs += 64
+		r.FFs += 64
+	case MulOp:
+		r.DSPs += 2
+		r.FFs += 96
+	case DivOp:
+		r.DSPs += 8
+		r.LUTs += 600
+		r.FFs += 400
+	}
+}
+
+// Select is cond > 0 ? A : B.
+type Select struct {
+	Cond, A, B Expr
+}
+
+func (e Select) lower(g *dfe.Graph) *dfe.Node {
+	return g.Mux(e.Cond.lower(g), e.A.lower(g), e.B.lower(g))
+}
+
+func (e Select) cost(r *Resources) {
+	e.Cond.cost(r)
+	e.A.cost(r)
+	e.B.cost(r)
+	r.LUTs += 32
+}
+
+// Convenience constructors.
+
+// AddE returns a + b.
+func AddE(a, b Expr) Expr { return Bin{Kind: AddOp, A: a, B: b} }
+
+// SubE returns a − b.
+func SubE(a, b Expr) Expr { return Bin{Kind: SubOp, A: a, B: b} }
+
+// MulE returns a × b.
+func MulE(a, b Expr) Expr { return Bin{Kind: MulOp, A: a, B: b} }
+
+// DivE returns a ÷ b.
+func DivE(a, b Expr) Expr { return Bin{Kind: DivOp, A: a, B: b} }
+
+// Kernel is a named set of output expressions.
+type Kernel struct {
+	Name    string
+	Outputs map[string]Expr
+}
+
+// Design is a compiled kernel.
+type Design struct {
+	Kernel    string
+	Graph     *dfe.Graph
+	Resources Resources
+	// PipelineDepth is the graph's latency in cycles; II is the initiation
+	// interval (1 for feed-forward kernels — one element per cycle).
+	PipelineDepth int
+	II            int
+}
+
+// Compile lowers a kernel to a dataflow design with a resource estimate.
+func Compile(k Kernel) (*Design, error) {
+	if len(k.Outputs) == 0 {
+		return nil, fmt.Errorf("hls: kernel %q has no outputs", k.Name)
+	}
+	g := dfe.NewGraph()
+	var res Resources
+	for name, expr := range k.Outputs {
+		n := expr.lower(g)
+		if err := g.Output(name, n); err != nil {
+			return nil, err
+		}
+		expr.cost(&res)
+		res.FFs += 32 // output register
+	}
+	return &Design{
+		Kernel:        k.Name,
+		Graph:         g,
+		Resources:     res,
+		PipelineDepth: g.PipelineDepth(),
+		II:            1,
+	}, nil
+}
+
+// KintexBudget is a KC705-class resource budget.
+func KintexBudget() Resources {
+	return Resources{LUTs: 203800, FFs: 407600, DSPs: 840, BRAMs: 445}
+}
+
+// ZynqBudget is a ZC702-class resource budget.
+func ZynqBudget() Resources {
+	return Resources{LUTs: 53200, FFs: 106400, DSPs: 220, BRAMs: 140}
+}

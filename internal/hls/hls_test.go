@@ -1,0 +1,117 @@
+package hls
+
+import (
+	"testing"
+)
+
+// heatKernel is the Heat2D inner stencil as a stream kernel:
+// out = 0.25*(n + s + e + w).
+func heatKernel() Kernel {
+	sum := AddE(AddE(In{"n"}, In{"s"}), AddE(In{"e"}, In{"w"}))
+	return Kernel{
+		Name:    "heat-stencil",
+		Outputs: map[string]Expr{"out": MulE(K{0.25}, sum)},
+	}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	d, err := Compile(heatKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Graph.Run(map[string][]float64{
+		"n": {4, 8}, "s": {4, 0}, "e": {4, 0}, "w": {4, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"][0] != 4 || out["out"][1] != 2 {
+		t.Fatalf("stencil wrong: %v", out["out"])
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(Kernel{Name: "empty"}); err == nil {
+		t.Fatal("kernel without outputs accepted")
+	}
+}
+
+func TestResourceEstimation(t *testing.T) {
+	d, err := Compile(heatKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Resources
+	// 3 adds + 1 mul: LUTs from adds, DSPs from the mul.
+	if r.DSPs < 2 {
+		t.Fatalf("multiplier got no DSPs: %+v", r)
+	}
+	if r.LUTs < 3*64 {
+		t.Fatalf("adders got too few LUTs: %+v", r)
+	}
+	if !r.FitsIn(ZynqBudget()) {
+		t.Fatalf("small stencil does not fit a Zynq: %+v", r)
+	}
+}
+
+func TestDivisionCostsMore(t *testing.T) {
+	add, _ := Compile(Kernel{Name: "a", Outputs: map[string]Expr{"o": AddE(In{"x"}, In{"y"})}})
+	div, _ := Compile(Kernel{Name: "d", Outputs: map[string]Expr{"o": DivE(In{"x"}, In{"y"})}})
+	if div.Resources.DSPs <= add.Resources.DSPs || div.Resources.LUTs <= add.Resources.LUTs {
+		t.Fatalf("division not costlier: div %+v vs add %+v", div.Resources, add.Resources)
+	}
+	if div.PipelineDepth <= add.PipelineDepth {
+		t.Fatalf("division not deeper: %d vs %d", div.PipelineDepth, add.PipelineDepth)
+	}
+}
+
+func TestBudgetRejection(t *testing.T) {
+	// A kernel with many dividers blows the Zynq DSP budget (220).
+	outs := map[string]Expr{}
+	for i := 0; i < 30; i++ {
+		outs[string(rune('a'+i))] = DivE(In{"x"}, In{"y"})
+	}
+	d, err := Compile(Kernel{Name: "big", Outputs: outs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Resources.FitsIn(ZynqBudget()) {
+		t.Fatalf("30 dividers reported as fitting a Zynq: %+v", d.Resources)
+	}
+	if !d.Resources.FitsIn(KintexBudget()) {
+		t.Fatalf("30 dividers should fit a Kintex: %+v", d.Resources)
+	}
+}
+
+func TestSelectLowering(t *testing.T) {
+	k := Kernel{Name: "relu", Outputs: map[string]Expr{
+		"o": Select{Cond: In{"x"}, A: In{"x"}, B: K{0}},
+	}}
+	d, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Graph.Run(map[string][]float64{"x": {-3, 0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 5}
+	for i, w := range want {
+		if out["o"][i] != w {
+			t.Fatalf("relu[%d] = %v want %v", i, out["o"][i], w)
+		}
+	}
+}
+
+func TestIIIsOne(t *testing.T) {
+	d, err := Compile(heatKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.II != 1 {
+		t.Fatalf("feed-forward kernel II: %d", d.II)
+	}
+	if d.PipelineDepth <= 0 {
+		t.Fatal("no pipeline depth")
+	}
+}

@@ -1,0 +1,115 @@
+// Package hungarian implements the Kuhn-Munkres assignment algorithm in
+// O(n³), used by the Smart Mirror pipeline to associate detections with
+// tracks (paper Sec. VI). The implementation is the shortest augmenting
+// path (Jonker-Volgenant style) formulation with potentials.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve finds the minimum-cost perfect assignment of rows to columns for
+// an n×m cost matrix with n ≤ m. It returns assignment[r] = column of row
+// r, and the total cost.
+func Solve(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("hungarian: need cols ≥ rows, got %dx%d", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("hungarian: ragged cost matrix at row %d", i)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return nil, 0, fmt.Errorf("hungarian: NaN cost at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Potentials u (rows), v (cols); way[j] = previous column on the
+	// augmenting path; matchCol[j] = row matched to column j.
+	// 1-based internal indexing per the classic formulation.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	matchCol := make([]int, m+1)
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	assignment := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if matchCol[j] > 0 {
+			assignment[matchCol[j]-1] = j - 1
+			total += cost[matchCol[j]-1][j-1]
+		}
+	}
+	return assignment, total, nil
+}
+
+// SolveWithThreshold solves the assignment and then voids pairs whose cost
+// exceeds maxCost (returned as -1), the usual gating step in tracking
+// association.
+func SolveWithThreshold(cost [][]float64, maxCost float64) ([]int, error) {
+	assignment, _, err := Solve(cost)
+	if err != nil {
+		return nil, err
+	}
+	for r, c := range assignment {
+		if c >= 0 && cost[r][c] > maxCost {
+			assignment[r] = -1
+		}
+	}
+	return assignment, nil
+}

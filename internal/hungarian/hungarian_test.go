@@ -1,0 +1,151 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivial(t *testing.T) {
+	a, cost, err := Solve([][]float64{{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 || cost != 5 {
+		t.Fatalf("trivial: %v %v", a, cost)
+	}
+	if a, _, err := Solve(nil); err != nil || a != nil {
+		t.Fatal("empty matrix should be a no-op")
+	}
+}
+
+func TestKnownOptimal(t *testing.T) {
+	// Classic example: optimal assignment cost 5 via (0,1),(1,0),(2,2).
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	a, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total: got %v want 5 (assignment %v)", total, a)
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	// 2 rows, 4 columns: rows pick their cheapest distinct columns.
+	cost := [][]float64{
+		{9, 9, 1, 9},
+		{9, 9, 2, 1},
+	}
+	a, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || a[0] != 2 || a[1] != 3 {
+		t.Fatalf("rectangular: %v total %v", a, total)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("rows > cols accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestThresholdGating(t *testing.T) {
+	cost := [][]float64{
+		{0.1, 50},
+		{50, 0.2},
+	}
+	a, err := SolveWithThreshold(cost, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 || a[1] != 1 {
+		t.Fatalf("gating broke good pairs: %v", a)
+	}
+	costBad := [][]float64{
+		{0.1, 50},
+		{50, 40},
+	}
+	a, err = SolveWithThreshold(costBad, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 || a[1] != -1 {
+		t.Fatalf("over-threshold pair not voided: %v", a)
+	}
+}
+
+// brute force optimal for small square instances.
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			s := 0.0
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: Hungarian matches brute force on random instances, and the
+// assignment is a valid permutation.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		a, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range a {
+			if c < 0 || c >= n || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		want := bruteForce(cost)
+		return math.Abs(total-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package hw
+
+// Catalog of representative microserver parts, calibrated to publicly
+// documented figures for the component families named in the paper
+// (COM Express x86, ARMv8, Jetson/Apalis low-power modules, GTX1080-class
+// GPUs, Kintex/Virtex-class FPGAs, Maxeler DFEs). Absolute numbers are
+// approximations; experiments depend on the relative ordering (low-power
+// ARM below x86 below GPU in both throughput and draw), which these specs
+// preserve.
+
+// XeonD returns a COM Express high-performance x86 microserver CPU.
+func XeonD() Spec {
+	return Spec{
+		Name:      "xeon-d-1577",
+		Class:     CPUx86,
+		Cores:     16,
+		MemBytes:  64 << 30,
+		GOPS:      400,
+		IdleWatts: 25,
+		PeakWatts: 90,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 2.1, Voltage: 1.0},
+			{Name: "eco", FreqGHz: 1.4, Voltage: 0.85},
+			{Name: "low", FreqGHz: 0.8, Voltage: 0.75},
+		},
+	}
+}
+
+// ARMv8Server returns a COM Express ARMv8 server CPU.
+func ARMv8Server() Spec {
+	return Spec{
+		Name:      "armv8-cortex-a72",
+		Class:     CPUARM,
+		Cores:     8,
+		MemBytes:  32 << 30,
+		GOPS:      144,
+		IdleWatts: 6,
+		PeakWatts: 24,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 2.0, Voltage: 1.0},
+			{Name: "eco", FreqGHz: 1.2, Voltage: 0.8},
+		},
+	}
+}
+
+// JetsonTX2 returns a low-power GPU SoC microserver (Apalis/Jetson class).
+func JetsonTX2() Spec {
+	return Spec{
+		Name:      "jetson-tx2",
+		Class:     GPU,
+		Cores:     256, // CUDA cores
+		MemBytes:  8 << 30,
+		GOPS:      1300,
+		IdleWatts: 5,
+		PeakWatts: 15,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 1.3, Voltage: 1.0},
+			{Name: "maxq", FreqGHz: 0.85, Voltage: 0.85},
+		},
+	}
+}
+
+// GTX1080 returns a workstation-class discrete GPU (Smart Mirror baseline,
+// paper Sec. VI: two of these at ~400 W system draw).
+func GTX1080() Spec {
+	return Spec{
+		Name:      "gtx-1080",
+		Class:     GPU,
+		Cores:     2560,
+		MemBytes:  8 << 30,
+		GOPS:      8870,
+		IdleWatts: 12,
+		PeakWatts: 180,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 1.6, Voltage: 1.0},
+		},
+	}
+}
+
+// KintexFPGA returns a power-oriented Kintex-class FPGA microserver
+// (KC705 evaluation-board class, paper Sec. III).
+func KintexFPGA() Spec {
+	return Spec{
+		Name:      "kintex-kc705",
+		Class:     FPGA,
+		Cores:     4, // reconfigurable regions
+		MemBytes:  2 << 30,
+		GOPS:      500,
+		IdleWatts: 4,
+		PeakWatts: 20,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 0.2, Voltage: 1.0},
+		},
+	}
+}
+
+// VirtexFPGA returns a performance-oriented Virtex-class FPGA (VC707 class).
+func VirtexFPGA() Spec {
+	return Spec{
+		Name:      "virtex-vc707",
+		Class:     FPGA,
+		Cores:     6,
+		MemBytes:  4 << 30,
+		GOPS:      900,
+		IdleWatts: 8,
+		PeakWatts: 30,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 0.25, Voltage: 1.0},
+		},
+	}
+}
+
+// MaxelerDFE returns a Maxeler-style dataflow engine.
+func MaxelerDFE() Spec {
+	return Spec{
+		Name:      "maxeler-dfe",
+		Class:     DFE,
+		Cores:     1, // one fully-pipelined dataflow graph at a time
+		MemBytes:  48 << 30,
+		GOPS:      2000,
+		IdleWatts: 25,
+		PeakWatts: 60,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 0.18, Voltage: 1.0},
+		},
+	}
+}
+
+// FPGASoC returns a Zynq-class CPU+FPGA SoC (ZC702 class).
+func FPGASoC() Spec {
+	return Spec{
+		Name:      "zynq-zc702",
+		Class:     FPGA,
+		Cores:     2,
+		MemBytes:  1 << 30,
+		GOPS:      150,
+		IdleWatts: 2,
+		PeakWatts: 6,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 0.15, Voltage: 1.0},
+		},
+	}
+}
+
+// ApalisARM returns an Apalis-class low-power ARM SoC microserver.
+func ApalisARM() Spec {
+	return Spec{
+		Name:      "apalis-imx8",
+		Class:     CPUARM,
+		Cores:     4,
+		MemBytes:  4 << 30,
+		GOPS:      40,
+		IdleWatts: 2,
+		PeakWatts: 8,
+		States: []DVFSState{
+			{Name: "nominal", FreqGHz: 1.5, Voltage: 1.0},
+			{Name: "eco", FreqGHz: 0.9, Voltage: 0.8},
+		},
+	}
+}

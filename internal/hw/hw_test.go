@@ -1,0 +1,264 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"legato/internal/sim"
+)
+
+func TestDevicePowerModel(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu0", XeonD())
+	if p := d.Meter().Power(); p != 25 {
+		t.Fatalf("idle power: got %v want 25", p)
+	}
+	if err := d.Acquire(16); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if p := d.Meter().Power(); math.Abs(p-90) > 1e-9 {
+		t.Fatalf("full-load power: got %v want 90", p)
+	}
+	d.Release(16)
+	if p := d.Meter().Power(); p != 25 {
+		t.Fatalf("power after release: got %v", p)
+	}
+}
+
+func TestDevicePartialUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu0", XeonD())
+	if err := d.Acquire(8); err != nil {
+		t.Fatal(err)
+	}
+	// Half the cores busy: idle + half the dynamic range.
+	want := 25 + (90-25)*0.5
+	if p := d.Meter().Power(); math.Abs(p-want) > 1e-9 {
+		t.Fatalf("half-load power: got %v want %v", p, want)
+	}
+}
+
+func TestDeviceOverAcquire(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "a", ARMv8Server())
+	if err := d.Acquire(9); err == nil {
+		t.Fatal("acquiring more cores than exist should fail")
+	}
+	if err := d.Acquire(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Acquire(1); err == nil {
+		t.Fatal("acquiring a busy device's extra core should fail")
+	}
+}
+
+func TestDeviceDVFSScaling(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu0", XeonD())
+	nominalTime := d.ExecTime(100, 16)
+	if err := d.SetState(2); err != nil { // low: 0.8 GHz vs 2.1 GHz nominal
+		t.Fatal(err)
+	}
+	lowTime := d.ExecTime(100, 16)
+	ratio := float64(lowTime) / float64(nominalTime)
+	if math.Abs(ratio-2.1/0.8) > 1e-6 {
+		t.Fatalf("DVFS slowdown: got ratio %v want %v", ratio, 2.1/0.8)
+	}
+	// Dynamic power scales as f·V²: at (0.8/2.1)·(0.75)² ≈ 0.214 of nominal.
+	if err := d.Acquire(16); err != nil {
+		t.Fatal(err)
+	}
+	scale := (0.8 / 2.1) * 0.75 * 0.75
+	want := 25 + (90-25)*scale
+	if p := d.Meter().Power(); math.Abs(p-want) > 1e-9 {
+		t.Fatalf("DVFS power: got %v want %v", p, want)
+	}
+}
+
+func TestDeviceDVFSBadState(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu0", XeonD())
+	if err := d.SetState(99); err == nil {
+		t.Fatal("invalid DVFS state accepted")
+	}
+}
+
+func TestDeviceFailRepair(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "g", GTX1080())
+	d.Fail()
+	if d.Healthy() {
+		t.Fatal("device still healthy after Fail")
+	}
+	if err := d.Acquire(1); err == nil {
+		t.Fatal("failed device accepted work")
+	}
+	if p := d.Meter().Power(); p != 0 {
+		t.Fatalf("failed device draws %v W", p)
+	}
+	d.Repair()
+	if !d.Healthy() || d.Meter().Power() != 12 {
+		t.Fatalf("repair did not restore idle state: healthy=%v p=%v", d.Healthy(), d.Meter().Power())
+	}
+}
+
+func TestExecTimeScalesWithCores(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu", XeonD())
+	t1 := d.ExecTime(100, 1)
+	t16 := d.ExecTime(100, 16)
+	if t1 != 16*t16 {
+		t.Fatalf("core scaling: 1-core %v, 16-core %v", t1, t16)
+	}
+}
+
+func TestEnergyForMatchesMeterIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, "cpu", XeonD())
+	gops := 50.0
+	estimate := d.EnergyFor(gops, 16)
+	// Run it "for real": acquire all cores for the exec time.
+	start := d.Meter().Energy()
+	if err := d.Acquire(16); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(d.ExecTime(gops, 16), func() { d.Release(16) })
+	eng.Run()
+	measured := d.Meter().Energy() - start
+	idle := 25 * sim.ToSeconds(d.ExecTime(gops, 16))
+	if math.Abs((measured-idle)-estimate) > 1e-9 {
+		t.Fatalf("dynamic energy: estimate %v, measured %v", estimate, measured-idle)
+	}
+}
+
+func TestRECSBoxTopology(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := StandardCloudBox(eng, "recs0")
+	if err != nil {
+		t.Fatalf("standard box: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if n := b.CountMicroservers(); n != 15 {
+		t.Fatalf("standard box population: got %d want 15", n)
+	}
+	if got := len(b.Microservers()); got != 15 {
+		t.Fatalf("microserver list: %d", got)
+	}
+	if b.TotalPower() <= 0 {
+		t.Fatal("idle chassis should still draw power")
+	}
+}
+
+func TestRECSBoxCarrierCompatibility(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewRECSBox(eng, "r")
+	lp, _ := b.AddCarrier(LowPowerCarrier)
+	if _, err := b.Populate(lp, XeonD()); err == nil {
+		t.Fatal("x86 COM Express must not fit a low-power carrier")
+	}
+	if _, err := b.Populate(lp, JetsonTX2()); err != nil {
+		t.Fatalf("Jetson should fit a low-power carrier: %v", err)
+	}
+	hp, _ := b.AddCarrier(HighPerfCarrier)
+	if _, err := b.Populate(hp, JetsonTX2()); err == nil {
+		t.Fatal("GPU SoC must not fit a high-performance carrier")
+	}
+	if _, err := b.Populate(hp, ARMv8Server()); err != nil {
+		t.Fatalf("ARMv8 should fit a high-performance carrier: %v", err)
+	}
+}
+
+func TestRECSBoxCapacityLimits(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewRECSBox(eng, "r")
+	for i := 0; i < MaxCarriers; i++ {
+		if _, err := b.AddCarrier(LowPowerCarrier); err != nil {
+			t.Fatalf("carrier %d: %v", i, err)
+		}
+	}
+	if _, err := b.AddCarrier(LowPowerCarrier); err == nil {
+		t.Fatal("backplane over-population accepted")
+	}
+	// 15 low-power carriers could hold 240 sites, but the chassis caps at 144.
+	count := 0
+	for _, c := range b.Carriers {
+		for s := 0; s < c.Class.Sites(); s++ {
+			if _, err := b.Populate(c, ApalisARM()); err != nil {
+				if count != MaxMicroservers {
+					t.Fatalf("population stopped at %d: %v", count, err)
+				}
+				return
+			}
+			count++
+		}
+	}
+	t.Fatalf("chassis accepted %d microservers without hitting the %d cap", count, MaxMicroservers)
+}
+
+func TestCarrierFull(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewRECSBox(eng, "r")
+	hp, _ := b.AddCarrier(HighPerfCarrier)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Populate(hp, XeonD()); err != nil {
+			t.Fatalf("site %d: %v", i, err)
+		}
+	}
+	if _, err := b.Populate(hp, XeonD()); err == nil {
+		t.Fatal("4th module on a 3-site carrier accepted")
+	}
+}
+
+func TestEdgeServerFig9(t *testing.T) {
+	eng := sim.NewEngine()
+	s, err := MirrorEdgeCPUGPUFPGA(eng, "edge0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Modules) != 3 {
+		t.Fatalf("modules: %d", len(s.Modules))
+	}
+	if s.ByClass(FPGA) == nil || s.ByClass(GPU) == nil || s.ByClass(CPUARM) == nil {
+		t.Fatal("expected CPU+GPU+FPGA composition")
+	}
+	if _, err := s.AddModule(JetsonTX2()); err == nil {
+		t.Fatal("edge enclosure accepted a 4th module")
+	}
+	if s.TotalPower() <= 0 {
+		t.Fatal("edge idle power should be positive")
+	}
+}
+
+func TestWorkstationPowerEnvelope(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewMirrorWorkstation(eng, "ws")
+	// Full load: host + both GPUs busy.
+	if err := w.Host.Acquire(w.Host.Spec.Cores); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range w.GPUs {
+		if err := g.Acquire(g.Spec.Cores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := w.TotalPower()
+	// Paper Sec. VI: ~400 W for the detection pipeline on this box.
+	if p < 350 || p > 450 {
+		t.Fatalf("workstation full-load power %v W outside the 400 W envelope", p)
+	}
+}
+
+func TestClassAndCarrierStrings(t *testing.T) {
+	for _, c := range []Class{CPUx86, CPUARM, GPU, FPGA, DFE} {
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+	for _, c := range []CarrierClass{LowPowerCarrier, HighPerfCarrier, PCIeExpansionCarrier} {
+		if c.String() == "" || c.Sites() == 0 {
+			t.Fatalf("carrier class %v misconfigured", c)
+		}
+	}
+}

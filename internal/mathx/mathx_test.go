@@ -1,0 +1,251 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixMulIdentity(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	id := Identity(2)
+	got := id.Mul(m)
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("I*M != M at %d: got %v want %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestMatrixMulKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	got := a.Mul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Fatalf("at %d: got %v want %v", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{4, 3, 2, 1})
+	sum := a.Add(b)
+	for _, v := range sum.Data {
+		if v != 5 {
+			t.Fatalf("add: got %v want 5", v)
+		}
+	}
+	diff := sum.Sub(b)
+	for i := range a.Data {
+		if diff.Data[i] != a.Data[i] {
+			t.Fatalf("sub did not invert add")
+		}
+	}
+	twice := a.Scale(2)
+	for i := range a.Data {
+		if twice.Data[i] != 2*a.Data[i] {
+			t.Fatalf("scale: got %v want %v", twice.Data[i], 2*a.Data[i])
+		}
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape: %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixInverse(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{4, 7, 2, 3, 6, 1, 2, 5, 3})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatalf("inverse: %v", err)
+	}
+	prod := a.Mul(inv)
+	id := Identity(3)
+	for i := range id.Data {
+		if !almostEq(prod.Data[i], id.Data[i], 1e-9) {
+			t.Fatalf("A*A^-1 != I at %d: %v", i, prod.Data[i])
+		}
+	}
+}
+
+func TestMatrixInverseSingular(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestMatrixSolve(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 3})
+	b := NewMatrixFrom(2, 1, []float64{5, 10})
+	x, err := a.Solve(b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if !almostEq(x.At(0, 0), 1, 1e-9) || !almostEq(x.At(1, 0), 3, 1e-9) {
+		t.Fatalf("solve got (%v, %v), want (1, 3)", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+// Property: inverting a random well-conditioned matrix and multiplying back
+// yields the identity.
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 2 + rng.Intn(4)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()*4 - 2
+		}
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(n)*3)
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		prod := m.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if !almostEq(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Fatalf("mean: got %v want 5", m)
+	}
+	if sd := StdDev(xs); !almostEq(sd, 2.13808993529939, 1e-9) {
+		t.Fatalf("stddev: got %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice stats should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("p%v: got %v want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestMinMaxSumClamp(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Fatalf("min/max/sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-2, 0, 3) != 0 || Clamp(1, 0, 3) != 1 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9, 11}
+	a, b := LinearFit(xs, ys)
+	if !almostEq(a, 3, 1e-9) || !almostEq(b, 2, 1e-9) {
+		t.Fatalf("fit got a=%v b=%v, want 3, 2", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || !almostEq(a, 2, 1e-12) {
+		t.Fatalf("constant-x fit should be flat mean: a=%v b=%v", a, b)
+	}
+}
+
+func TestMultiLinearFit(t *testing.T) {
+	// y = 2*x0 - x1 + 4 with a few samples.
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {3, 0}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 2*row[0] - row[1] + 4
+	}
+	w, err := MultiLinearFit(X, y)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if !almostEq(w[0], 2, 1e-6) || !almostEq(w[1], -1, 1e-6) || !almostEq(w[2], 4, 1e-6) {
+		t.Fatalf("weights: %v", w)
+	}
+}
+
+func TestExpFit(t *testing.T) {
+	// y = 5·e^{-3x}
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Exp(-3*x)
+	}
+	A, k := ExpFit(xs, ys)
+	if !almostEq(A, 5, 1e-9) || !almostEq(k, -3, 1e-9) {
+		t.Fatalf("expfit got A=%v k=%v", A, k)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

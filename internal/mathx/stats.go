@@ -1,0 +1,174 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns (a, b).
+// With fewer than two points it returns (y0, 0).
+func LinearFit(xs, ys []float64) (a, b float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 || len(ys) != n {
+		return ys[0], 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return my, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}
+
+// MultiLinearFit fits y ≈ w·x (with an implicit bias column appended) by
+// solving the normal equations. rows of X are observations. It returns the
+// weight vector of length cols+1 (bias last) or an error if the normal
+// matrix is singular.
+func MultiLinearFit(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || len(y) != n {
+		return nil, ErrSingular
+	}
+	d := len(X[0]) + 1 // + bias
+	xm := NewMatrix(n, d)
+	ym := NewMatrix(n, 1)
+	for i, row := range X {
+		for j, v := range row {
+			xm.Set(i, j, v)
+		}
+		xm.Set(i, d-1, 1)
+		ym.Set(i, 0, y[i])
+	}
+	xt := xm.Transpose()
+	normal := xt.Mul(xm)
+	rhs := xt.Mul(ym)
+	// Tikhonov damping keeps the solve stable when observations are collinear.
+	for i := 0; i < d; i++ {
+		normal.Set(i, i, normal.At(i, i)+1e-9)
+	}
+	w, err := normal.Solve(rhs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = w.At(i, 0)
+	}
+	return out, nil
+}
+
+// ExpFit fits y ≈ A·exp(k·x) for strictly positive y via a log-linear
+// least-squares fit, returning (A, k). Non-positive ys are skipped.
+func ExpFit(xs, ys []float64) (A, k float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && ys[i] > 0 {
+			lx = append(lx, xs[i])
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	a, b := LinearFit(lx, ly)
+	return math.Exp(a), b
+}

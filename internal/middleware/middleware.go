@@ -1,0 +1,157 @@
+// Package middleware implements the LEGaTO middleware layer of paper
+// Sec. II-B: the embedded management firmware that "manages, controls and
+// monitors [the hardware] on a low-level" (inventory, power control,
+// sensor polling over the management network) plus an OpenStack-flavoured
+// resource-allocation API (infrastructure as a service: tenants request
+// microservers by device class).
+package middleware
+
+import (
+	"fmt"
+	"sort"
+
+	"legato/internal/hw"
+)
+
+// NodeInfo is the firmware's view of one microserver site.
+type NodeInfo struct {
+	ID      string
+	Class   hw.Class
+	Carrier int
+	Site    int
+	Powered bool
+	Healthy bool
+	PowerW  float64
+	Tenant  string
+}
+
+// Manager is the management firmware of one RECS|BOX chassis.
+type Manager struct {
+	box *hw.RECSBox
+
+	powered map[string]bool
+	tenants map[string]string // microserver ID → tenant
+}
+
+// NewManager attaches firmware to a chassis; all populated sites start
+// powered on and unallocated.
+func NewManager(box *hw.RECSBox) *Manager {
+	m := &Manager{box: box, powered: make(map[string]bool), tenants: make(map[string]string)}
+	for _, ms := range box.Microservers() {
+		m.powered[ms.ID] = true
+	}
+	return m
+}
+
+// find locates a microserver by ID.
+func (m *Manager) find(id string) (*hw.Microserver, error) {
+	for _, ms := range m.box.Microservers() {
+		if ms.ID == id {
+			return ms, nil
+		}
+	}
+	return nil, fmt.Errorf("middleware: unknown microserver %q", id)
+}
+
+// Inventory reports every populated site, sorted by ID.
+func (m *Manager) Inventory() []NodeInfo {
+	var out []NodeInfo
+	for _, ms := range m.box.Microservers() {
+		out = append(out, NodeInfo{
+			ID:      ms.ID,
+			Class:   ms.Device.Spec.Class,
+			Carrier: ms.Carrier.Index,
+			Site:    ms.Site,
+			Powered: m.powered[ms.ID],
+			Healthy: ms.Device.Healthy(),
+			PowerW:  ms.Device.Meter().Power(),
+			Tenant:  m.tenants[ms.ID],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PowerOff shuts a microserver down (management-network KVM operation).
+// Allocated nodes must be released first.
+func (m *Manager) PowerOff(id string) error {
+	ms, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	if t := m.tenants[id]; t != "" {
+		return fmt.Errorf("middleware: %s is allocated to tenant %q", id, t)
+	}
+	m.powered[id] = false
+	ms.Device.Fail() // modelled as zero-power, no-capacity
+	return nil
+}
+
+// PowerOn restores a microserver.
+func (m *Manager) PowerOn(id string) error {
+	ms, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	m.powered[id] = true
+	ms.Device.Repair()
+	return nil
+}
+
+// SetDVFS selects a DVFS state on a node (energy-management hook).
+func (m *Manager) SetDVFS(id string, state int) error {
+	ms, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	return ms.Device.SetState(state)
+}
+
+// Allocate leases the first free, powered microserver of the given class
+// to a tenant (the OpenStack-style IaaS request).
+func (m *Manager) Allocate(tenant string, class hw.Class) (*hw.Microserver, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("middleware: tenant name required")
+	}
+	for _, ms := range m.box.Microservers() {
+		if ms.Device.Spec.Class != class {
+			continue
+		}
+		if !m.powered[ms.ID] || !ms.Device.Healthy() {
+			continue
+		}
+		if m.tenants[ms.ID] != "" {
+			continue
+		}
+		m.tenants[ms.ID] = tenant
+		return ms, nil
+	}
+	return nil, fmt.Errorf("middleware: no free %s microserver", class)
+}
+
+// Release returns a lease.
+func (m *Manager) Release(id string) error {
+	if _, err := m.find(id); err != nil {
+		return err
+	}
+	if m.tenants[id] == "" {
+		return fmt.Errorf("middleware: %s is not allocated", id)
+	}
+	delete(m.tenants, id)
+	return nil
+}
+
+// TenantNodes lists a tenant's leases.
+func (m *Manager) TenantNodes(tenant string) []string {
+	var out []string
+	for id, t := range m.tenants {
+		if t == tenant {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChassisPower reports the total draw (the PDU reading).
+func (m *Manager) ChassisPower() float64 { return m.box.TotalPower() }

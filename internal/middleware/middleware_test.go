@@ -1,0 +1,143 @@
+package middleware
+
+import (
+	"testing"
+
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+func manager(t *testing.T) *Manager {
+	t.Helper()
+	eng := sim.NewEngine()
+	box, err := hw.StandardCloudBox(eng, "recs0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(box)
+}
+
+func TestInventory(t *testing.T) {
+	m := manager(t)
+	inv := m.Inventory()
+	if len(inv) != 15 {
+		t.Fatalf("inventory size: %d", len(inv))
+	}
+	for _, n := range inv {
+		if !n.Powered || !n.Healthy {
+			t.Fatalf("node %s not up at start", n.ID)
+		}
+		if n.Tenant != "" {
+			t.Fatalf("node %s allocated at start", n.ID)
+		}
+	}
+	// Sorted by ID.
+	for i := 1; i < len(inv); i++ {
+		if inv[i-1].ID > inv[i].ID {
+			t.Fatal("inventory not sorted")
+		}
+	}
+}
+
+func TestPowerCycle(t *testing.T) {
+	m := manager(t)
+	id := m.Inventory()[0].ID
+	before := m.ChassisPower()
+	if err := m.PowerOff(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.ChassisPower() >= before {
+		t.Fatal("power-off did not reduce chassis power")
+	}
+	if err := m.PowerOn(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.ChassisPower() != before {
+		t.Fatal("power-on did not restore chassis power")
+	}
+	if err := m.PowerOff("nonexistent"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	m := manager(t)
+	ms, err := m.Allocate("tenant-a", hw.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Device.Spec.Class != hw.GPU {
+		t.Fatalf("allocated %v, want GPU", ms.Device.Spec.Class)
+	}
+	nodes := m.TenantNodes("tenant-a")
+	if len(nodes) != 1 || nodes[0] != ms.ID {
+		t.Fatalf("tenant nodes: %v", nodes)
+	}
+	// Allocated node cannot be powered off.
+	if err := m.PowerOff(ms.ID); err == nil {
+		t.Fatal("powered off an allocated node")
+	}
+	if err := m.Release(ms.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(ms.ID); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if len(m.TenantNodes("tenant-a")) != 0 {
+		t.Fatal("lease not removed")
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	m := manager(t)
+	// The standard box has exactly one discrete GTX1080 + 4 Jetson GPU
+	// modules = 5 GPU-class sites.
+	count := 0
+	for {
+		if _, err := m.Allocate("t", hw.GPU); err != nil {
+			break
+		}
+		count++
+		if count > 100 {
+			t.Fatal("allocation never exhausted")
+		}
+	}
+	if count != 5 {
+		t.Fatalf("GPU allocations: got %d want 5", count)
+	}
+	if _, err := m.Allocate("", hw.CPUx86); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+}
+
+func TestAllocateSkipsPoweredOff(t *testing.T) {
+	m := manager(t)
+	// Power off every ARM node, then an ARM allocation must fail.
+	for _, n := range m.Inventory() {
+		if n.Class == hw.CPUARM {
+			if err := m.PowerOff(n.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := m.Allocate("t", hw.CPUARM); err == nil {
+		t.Fatal("allocated a powered-off node")
+	}
+}
+
+func TestSetDVFS(t *testing.T) {
+	m := manager(t)
+	var cpuID string
+	for _, n := range m.Inventory() {
+		if n.Class == hw.CPUx86 {
+			cpuID = n.ID
+			break
+		}
+	}
+	if err := m.SetDVFS(cpuID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDVFS(cpuID, 99); err == nil {
+		t.Fatal("invalid DVFS state accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Package monitor implements the HEATS monitoring module (paper Fig. 7):
+// resource telemetry in the style of Heapster plus energy telemetry in the
+// style of PDU/PowerSpy probes. The scheduler pulls snapshots at decision
+// points; every snapshot is appended to per-node time series for
+// inspection and the experiment reports.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"legato/internal/cluster"
+	"legato/internal/sim"
+)
+
+// Snapshot is one node observation.
+type Snapshot struct {
+	At       sim.Time
+	Node     string
+	CPUFree  int
+	CPUTotal int
+	MemFree  int64
+	PowerW   float64
+	Tasks    int
+	Healthy  bool
+}
+
+// Monitor observes a cluster.
+type Monitor struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+
+	series map[string][]Snapshot
+}
+
+// New creates a monitor over cl.
+func New(eng *sim.Engine, cl *cluster.Cluster) *Monitor {
+	return &Monitor{eng: eng, cl: cl, series: make(map[string][]Snapshot)}
+}
+
+// Poll records and returns a snapshot of every node.
+func (m *Monitor) Poll() []Snapshot {
+	out := make([]Snapshot, 0, len(m.cl.Nodes))
+	for _, n := range m.cl.Nodes {
+		s := Snapshot{
+			At:       m.eng.Now(),
+			Node:     n.Name,
+			CPUFree:  n.CPUFree(),
+			CPUTotal: n.Dev.Spec.Cores,
+			MemFree:  n.MemFree(),
+			PowerW:   n.Dev.Meter().Power(),
+			Tasks:    n.RunningTasks(),
+			Healthy:  n.Dev.Healthy(),
+		}
+		m.series[n.Name] = append(m.series[n.Name], s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Series returns the recorded snapshots for a node.
+func (m *Monitor) Series(node string) []Snapshot { return m.series[node] }
+
+// Latest returns the most recent snapshot for a node (ok=false if none).
+func (m *Monitor) Latest(node string) (Snapshot, bool) {
+	s := m.series[node]
+	if len(s) == 0 {
+		return Snapshot{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Utilization returns the mean CPU utilisation of a node over its series.
+func (m *Monitor) Utilization(node string) float64 {
+	s := m.series[node]
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, snap := range s {
+		if snap.CPUTotal > 0 {
+			sum += float64(snap.CPUTotal-snap.CPUFree) / float64(snap.CPUTotal)
+		}
+	}
+	return sum / float64(len(s))
+}
+
+// Report renders the latest snapshot of every node.
+func (m *Monitor) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %10s %10s %7s\n", "node", "cpufree", "mem free", "power W", "tasks")
+	for _, n := range m.cl.Nodes {
+		if s, ok := m.Latest(n.Name); ok {
+			fmt.Fprintf(&sb, "%-12s %3d/%-4d %10d %10.1f %7d\n",
+				s.Node, s.CPUFree, s.CPUTotal, s.MemFree, s.PowerW, s.Tasks)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"legato/internal/cluster"
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cluster.Cluster, *Monitor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng)
+	cl.AddNode("x86-0", hw.XeonD())
+	cl.AddNode("arm-0", hw.ARMv8Server())
+	return eng, cl, New(eng, cl)
+}
+
+func TestPollSnapshotsAllNodes(t *testing.T) {
+	_, _, m := setup(t)
+	snaps := m.Poll()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots: %d", len(snaps))
+	}
+	for _, s := range snaps {
+		if !s.Healthy || s.CPUFree != s.CPUTotal {
+			t.Fatalf("idle node snapshot wrong: %+v", s)
+		}
+		if s.PowerW <= 0 {
+			t.Fatal("idle power should be positive")
+		}
+	}
+}
+
+func TestSnapshotTracksLoad(t *testing.T) {
+	eng, cl, m := setup(t)
+	task := &cluster.Task{Name: "t", Kind: "k", CPU: 8, Gops: 400}
+	if err := cl.Place(task, cl.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Poll()[0]
+	if s.CPUFree != 8 || s.Tasks != 1 {
+		t.Fatalf("loaded snapshot: %+v", s)
+	}
+	eng.Run()
+	s = m.Poll()[0]
+	if s.CPUFree != 16 || s.Tasks != 0 {
+		t.Fatalf("post-completion snapshot: %+v", s)
+	}
+}
+
+func TestLatestAndSeries(t *testing.T) {
+	eng, _, m := setup(t)
+	if _, ok := m.Latest("x86-0"); ok {
+		t.Fatal("latest before any poll")
+	}
+	m.Poll()
+	eng.Schedule(sim.Second, func() { m.Poll() })
+	eng.Run()
+	series := m.Series("x86-0")
+	if len(series) != 2 {
+		t.Fatalf("series length: %d", len(series))
+	}
+	last, ok := m.Latest("x86-0")
+	if !ok || last.At != sim.Second {
+		t.Fatalf("latest: %+v ok=%v", last, ok)
+	}
+	if series[0].At >= series[1].At {
+		t.Fatal("series not time-ordered")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	_, cl, m := setup(t)
+	if u := m.Utilization("x86-0"); u != 0 {
+		t.Fatalf("utilization with no samples: %v", u)
+	}
+	task := &cluster.Task{Name: "t", Kind: "k", CPU: 8, Gops: 1e6}
+	if err := cl.Place(task, cl.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	m.Poll()
+	if u := m.Utilization("x86-0"); u != 0.5 {
+		t.Fatalf("utilization: got %v want 0.5", u)
+	}
+}
+
+func TestReport(t *testing.T) {
+	_, _, m := setup(t)
+	m.Poll()
+	r := m.Report()
+	if !strings.Contains(r, "x86-0") || !strings.Contains(r, "arm-0") {
+		t.Fatalf("report missing nodes:\n%s", r)
+	}
+}

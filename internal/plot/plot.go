@@ -1,0 +1,169 @@
+// Package plot renders XY series and bar groups as ASCII charts, so the
+// command-line tools can show the *shape* of each reproduced figure
+// (Fig. 5's power/fault curves, Fig. 6's bar groups) next to the numeric
+// tables, terminal-only.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart is an ASCII XY chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	// LogY plots log10(y) (zero/negative values are dropped).
+	LogY   bool
+	series []Series
+}
+
+// Add appends a series; markers default to a cycling set.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []rune{'*', '+', 'o', 'x', '#', '@'}
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	val := func(y float64) (float64, bool) {
+		if c.LogY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			y, ok := val(s.Y[i])
+			if !ok {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return c.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			y, ok := val(s.Y[i])
+			if !ok {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = s.Marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	unit := ""
+	if c.LogY {
+		unit = " (log10)"
+	}
+	for r := 0; r < h; r++ {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g", yTop)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%9.3g", yBot)
+		}
+		fmt.Fprintf(&sb, "%10s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%10s  %-12.4g%s%12.4g\n", "", minX,
+		strings.Repeat(" ", maxInt(0, w-26)), maxX)
+	if c.XLabel != "" || c.YLabel != "" || c.LogY {
+		fmt.Fprintf(&sb, "%10s  x: %s   y: %s%s\n", "", c.XLabel, c.YLabel, unit)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&sb, "%10s  %c %s\n", "", s.Marker, s.Name)
+	}
+	return sb.String()
+}
+
+// Bars renders one grouped bar chart row per label:
+// label | ████████ 12.3   (scaled to the max value).
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		n := 0
+		if max > 0 {
+			n = int(values[i] / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-22s |%s %.2f\n", l, strings.Repeat("█", n), values[i])
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersAllSeries(t *testing.T) {
+	c := Chart{Title: "test chart", XLabel: "volts", YLabel: "watts"}
+	c.Add(Series{Name: "power", X: []float64{0, 1, 2}, Y: []float64{10, 5, 1}})
+	c.Add(Series{Name: "faults", X: []float64{0, 1, 2}, Y: []float64{0, 2, 9}})
+	out := c.Render()
+	for _, frag := range []string{"test chart", "power", "faults", "volts", "watts"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, '+') {
+		t.Fatal("series markers missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if !strings.Contains(c.Render(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartLogYDropsNonPositive(t *testing.T) {
+	c := Chart{LogY: true}
+	c.Add(Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{0, 10, 1000}})
+	out := c.Render()
+	if !strings.Contains(out, "log10") {
+		t.Fatal("log axis not labelled")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := Chart{}
+	c.Add(Series{Name: "pt", X: []float64{5}, Y: []float64{7}})
+	if c.Render() == "" {
+		t.Fatal("single point failed to render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("times", []string{"initial", "async"}, []float64{48.6, 4.0}, 30)
+	if !strings.Contains(out, "initial") || !strings.Contains(out, "async") {
+		t.Fatal("labels missing")
+	}
+	// The larger bar has more blocks.
+	lines := strings.Split(out, "\n")
+	var initBlocks, asyncBlocks int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.HasPrefix(l, "initial") {
+			initBlocks = n
+		}
+		if strings.HasPrefix(l, "async") {
+			asyncBlocks = n
+		}
+	}
+	if initBlocks <= asyncBlocks {
+		t.Fatalf("bar scaling wrong: %d vs %d", initBlocks, asyncBlocks)
+	}
+}
+
+func TestBarsZeroMax(t *testing.T) {
+	if Bars("z", []string{"a"}, []float64{0}, 10) == "" {
+		t.Fatal("zero bars failed")
+	}
+}

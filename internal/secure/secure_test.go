@@ -1,0 +1,143 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+)
+
+var rootKey = []byte("platform-root-key-0123456789abcd")
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e, err := New(SGX, []byte("enclave-code-v1"), rootKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("smart mirror face database")
+	sealed, err := e.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := e.Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestSealBoundToMeasurement(t *testing.T) {
+	e1, _ := New(SGX, []byte("code-v1"), rootKey)
+	e2, _ := New(SGX, []byte("code-v2"), rootKey)
+	sealed, err := e1.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Unseal(sealed); err != ErrSealBroken {
+		t.Fatalf("different code identity unsealed the blob: %v", err)
+	}
+	// Same code, same platform: unseal works (persistence across restarts).
+	e3, _ := New(SGX, []byte("code-v1"), rootKey)
+	if _, err := e3.Unseal(sealed); err != nil {
+		t.Fatalf("same identity failed to unseal: %v", err)
+	}
+	// Same code, different platform: fails.
+	e4, _ := New(SGX, []byte("code-v1"), []byte("other-platform-root-key-000000"))
+	if _, err := e4.Unseal(sealed); err != ErrSealBroken {
+		t.Fatal("cross-platform unseal succeeded")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	e, _ := New(TrustZone, []byte("code"), rootKey)
+	sealed, _ := e.Seal([]byte("payload"))
+	sealed[len(sealed)-1] ^= 1
+	if _, err := e.Unseal(sealed); err != ErrSealBroken {
+		t.Fatal("tampered blob unsealed")
+	}
+	if _, err := e.Unseal([]byte("short")); err != ErrSealBroken {
+		t.Fatal("truncated blob unsealed")
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	code := []byte("gateway-enclave")
+	e, _ := New(SGX, code, rootKey)
+	q := e.Attest(42)
+	if !Verify(q, e.Measurement, rootKey) {
+		t.Fatal("genuine quote rejected")
+	}
+	// Wrong nonce / replay with altered nonce.
+	q2 := q
+	q2.Nonce = 43
+	if Verify(q2, e.Measurement, rootKey) {
+		t.Fatal("quote with altered nonce accepted")
+	}
+	// Wrong expected measurement.
+	var other [32]byte
+	if Verify(q, other, rootKey) {
+		t.Fatal("quote accepted against wrong measurement")
+	}
+	// Forged MAC.
+	q3 := q
+	q3.MAC[0] ^= 1
+	if Verify(q3, e.Measurement, rootKey) {
+		t.Fatal("forged quote accepted")
+	}
+	// Wrong platform key.
+	if Verify(q, e.Measurement, []byte("not-the-platform-keyxxxxxxxxxxxx")) {
+		t.Fatal("quote verified under wrong platform key")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(SGX, []byte("x"), nil); err == nil {
+		t.Fatal("missing root key accepted")
+	}
+}
+
+func TestHardwareAccelerationEnergyGap(t *testing.T) {
+	workload := func(e *Enclave) {
+		data := make([]byte, 1<<20)
+		for i := 0; i < 20; i++ {
+			sealed, err := e.Seal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Unseal(sealed); err != nil {
+				t.Fatal(err)
+			}
+			e.Attest(uint64(i))
+			e.RunSecure(func() {})
+		}
+	}
+	sw, _ := New(SoftwareOnly, []byte("code"), rootKey)
+	hwE, _ := New(SGX, []byte("code"), rootKey)
+	workload(sw)
+	workload(hwE)
+	ratio := OverheadRatio(sw, hwE)
+	// Project goal (Sec. VII): 10× security-overhead reduction via
+	// instruction-level hardware support.
+	if ratio < 10 {
+		t.Fatalf("hardware acceleration gap %.1fx, want ≥10x", ratio)
+	}
+	if sw.Ops != hwE.Ops {
+		t.Fatalf("unequal op counts: %d vs %d", sw.Ops, hwE.Ops)
+	}
+}
+
+func TestRunSecureChargesTransition(t *testing.T) {
+	e, _ := New(SGX, []byte("code"), rootKey)
+	before := e.EnergyNJ
+	ran := false
+	e.RunSecure(func() { ran = true })
+	if !ran {
+		t.Fatal("secure function did not run")
+	}
+	if e.EnergyNJ <= before {
+		t.Fatal("no transition cost charged")
+	}
+}

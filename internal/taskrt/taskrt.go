@@ -1,0 +1,330 @@
+// Package taskrt implements the OmpSs-style task runtime of the LEGaTO
+// stack (paper Sec. II-C): tasks declare in/out/inout dependences on data
+// regions, the runtime derives the task graph from program order, and a
+// scheduler places ready tasks on the heterogeneous devices (SMP cores,
+// GPUs, FPGAs) that the hw layer models — optimising for time, energy, or
+// energy-delay product, which is how the task abstraction "maximises
+// optimisation opportunities for low-energy computing" (Sec. I).
+package taskrt
+
+import (
+	"fmt"
+	"sort"
+
+	"legato/internal/energy"
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+// Data is a named data region tasks depend on.
+type Data struct {
+	Name string
+	Size int64
+
+	lastWriter *node
+	readers    []*node
+	version    int
+}
+
+// Dep is a dependence declaration.
+type Dep int
+
+const (
+	// In: the task reads the region.
+	In Dep = iota
+	// Out: the task overwrites the region.
+	Out
+	// InOut: the task reads and writes the region.
+	InOut
+)
+
+// Task is one unit of work.
+type Task struct {
+	Name string
+	// Gops is the task's computational cost in giga-operations.
+	Gops float64
+	// Cores is the requested parallel width on the chosen device
+	// (default 1).
+	Cores int
+	// Targets lists acceptable device classes in preference order; empty
+	// means any device.
+	Targets []hw.Class
+	// In, Out, InOut declare data dependences.
+	In, Out, InOut []*Data
+	// Priority breaks ties in the ready queue (higher first).
+	Priority int
+	// Critical marks the task reliability-critical (selective replication,
+	// paper Sec. I: "only the most reliability-critical tasks will be
+	// replicated").
+	Critical bool
+	// Fn runs at completion time (simulated); may be nil.
+	Fn func()
+}
+
+// node is a submitted task with graph state.
+type node struct {
+	task    Task
+	id      int
+	deps    int     // unsatisfied predecessor count
+	succ    []*node // successors
+	done    bool
+	started bool
+
+	record Record
+}
+
+// Record is the execution trace of one task.
+type Record struct {
+	ID       int
+	Name     string
+	Device   string
+	Class    hw.Class
+	Start    sim.Time
+	End      sim.Time
+	EnergyJ  energy.Joules
+	Critical bool
+}
+
+// Policy selects the placement objective.
+type Policy int
+
+const (
+	// MinTime places each ready task on the device finishing it soonest.
+	MinTime Policy = iota
+	// MinEnergy places on the device with the lowest dynamic energy.
+	MinEnergy
+	// MinEDP minimises energy × delay.
+	MinEDP
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case MinTime:
+		return "min-time"
+	case MinEnergy:
+		return "min-energy"
+	case MinEDP:
+		return "min-edp"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Runtime is one task-graph execution context.
+type Runtime struct {
+	eng     *sim.Engine
+	devices []*hw.Device
+	policy  Policy
+
+	nodes  []*node
+	ready  []*node
+	nextID int
+	inDAG  int // submitted, not finished
+}
+
+// New creates a runtime over the given devices.
+func New(eng *sim.Engine, devices []*hw.Device, policy Policy) *Runtime {
+	return &Runtime{eng: eng, devices: devices, policy: policy}
+}
+
+// Data declares a data region.
+func (r *Runtime) Data(name string, size int64) *Data {
+	return &Data{Name: name, Size: size}
+}
+
+// Submit adds a task, wiring dependences against earlier submissions
+// (program order), exactly like OmpSs #pragma omp task in/out clauses.
+func (r *Runtime) Submit(t Task) error {
+	if t.Cores <= 0 {
+		t.Cores = 1
+	}
+	if t.Gops < 0 {
+		return fmt.Errorf("taskrt: task %q has negative cost", t.Name)
+	}
+	n := &node{task: t, id: r.nextID}
+	r.nextID++
+	n.record = Record{ID: n.id, Name: t.Name, Critical: t.Critical}
+
+	addEdge := func(from *node) {
+		if from == nil || from.done {
+			return
+		}
+		from.succ = append(from.succ, n)
+		n.deps++
+	}
+	for _, d := range t.In {
+		addEdge(d.lastWriter)
+		d.readers = append(d.readers, n)
+	}
+	for _, d := range t.InOut {
+		addEdge(d.lastWriter)
+		for _, rd := range d.readers {
+			if rd != n {
+				addEdge(rd)
+			}
+		}
+		d.lastWriter = n
+		d.readers = d.readers[:0]
+		d.version++
+	}
+	for _, d := range t.Out {
+		// Output and anti dependences: wait for previous writer and readers
+		// (no renaming in this runtime).
+		addEdge(d.lastWriter)
+		for _, rd := range d.readers {
+			if rd != n {
+				addEdge(rd)
+			}
+		}
+		d.lastWriter = n
+		d.readers = d.readers[:0]
+		d.version++
+	}
+
+	r.nodes = append(r.nodes, n)
+	r.inDAG++
+	if n.deps == 0 {
+		r.enqueue(n)
+	}
+	return nil
+}
+
+// enqueue adds a ready node, keeping the queue priority-sorted.
+func (r *Runtime) enqueue(n *node) {
+	r.ready = append(r.ready, n)
+	sort.SliceStable(r.ready, func(i, j int) bool {
+		if r.ready[i].task.Priority != r.ready[j].task.Priority {
+			return r.ready[i].task.Priority > r.ready[j].task.Priority
+		}
+		return r.ready[i].id < r.ready[j].id
+	})
+}
+
+// compatible reports whether dev can run t.
+func compatible(t Task, dev *hw.Device) bool {
+	if !dev.Healthy() {
+		return false
+	}
+	if dev.Spec.Cores < t.Cores {
+		return false
+	}
+	if len(t.Targets) == 0 {
+		return true
+	}
+	for _, c := range t.Targets {
+		if dev.Spec.Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// score returns the policy objective for running t on dev now (lower is
+// better); ok=false if the device cannot take the task at this instant.
+func (r *Runtime) score(t Task, dev *hw.Device) (float64, bool) {
+	if !compatible(t, dev) {
+		return 0, false
+	}
+	free := dev.Spec.Cores - dev.BusyCores()
+	if free < t.Cores {
+		return 0, false
+	}
+	execSec := sim.ToSeconds(dev.ExecTime(t.Gops, t.Cores))
+	energyJ := dev.EnergyFor(t.Gops, t.Cores)
+	switch r.policy {
+	case MinEnergy:
+		return energyJ, true
+	case MinEDP:
+		return energyJ * execSec, true
+	default:
+		return execSec, true
+	}
+}
+
+// dispatch assigns as many ready tasks as possible.
+func (r *Runtime) dispatch() {
+	for {
+		assigned := false
+		for qi := 0; qi < len(r.ready); qi++ {
+			n := r.ready[qi]
+			best := -1
+			bestScore := 0.0
+			for di, dev := range r.devices {
+				if s, ok := r.score(n.task, dev); ok && (best == -1 || s < bestScore) {
+					best, bestScore = di, s
+				}
+			}
+			if best == -1 {
+				continue // no device free for this task right now
+			}
+			r.ready = append(r.ready[:qi], r.ready[qi+1:]...)
+			r.start(n, r.devices[best])
+			assigned = true
+			break
+		}
+		if !assigned {
+			return
+		}
+	}
+}
+
+// start runs n on dev.
+func (r *Runtime) start(n *node, dev *hw.Device) {
+	t := n.task
+	if err := dev.Acquire(t.Cores); err != nil {
+		// Raced with another assignment; requeue.
+		r.enqueue(n)
+		return
+	}
+	n.started = true
+	n.record.Device = dev.ID
+	n.record.Class = dev.Spec.Class
+	n.record.Start = r.eng.Now()
+	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores)
+	span := dev.ExecTime(t.Gops, t.Cores)
+	r.eng.Schedule(span, func() {
+		dev.Release(t.Cores)
+		n.record.End = r.eng.Now()
+		n.done = true
+		r.inDAG--
+		if t.Fn != nil {
+			t.Fn()
+		}
+		for _, s := range n.succ {
+			s.deps--
+			if s.deps == 0 && !s.done {
+				r.enqueue(s)
+			}
+		}
+		r.dispatch()
+	})
+}
+
+// Result summarises a completed run.
+type Result struct {
+	Makespan sim.Time
+	Records  []Record
+	// EnergyJ is the summed dynamic task energy.
+	EnergyJ energy.Joules
+}
+
+// Run executes the submitted graph to completion and returns the trace.
+// It fails if tasks remain blocked (a dependence cycle cannot occur by
+// construction, so leftovers mean no compatible device exists).
+func (r *Runtime) Run() (*Result, error) {
+	r.dispatch()
+	r.eng.Run()
+	res := &Result{}
+	for _, n := range r.nodes {
+		if !n.done {
+			return nil, fmt.Errorf("taskrt: task %q never ran (no compatible device?)", n.task.Name)
+		}
+		res.Records = append(res.Records, n.record)
+		if n.record.End > res.Makespan {
+			res.Makespan = n.record.End
+		}
+		res.EnergyJ += n.record.EnergyJ
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+// Package trace provides the execution-tracing facility of the LEGaTO
+// runtime layer: spans over virtual time (task executions, checkpoints,
+// migrations), named counters, and a Paraver-flavoured text export —
+// the trace format of the BSC tool family that accompanies OmpSs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"legato/internal/sim"
+)
+
+// Span is one traced interval.
+type Span struct {
+	Name     string
+	Category string
+	Resource string // device/node the span ran on
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Tracer records spans and counters against an engine's clock.
+type Tracer struct {
+	eng      *sim.Engine
+	spans    []Span
+	open     map[int]*Span
+	nextID   int
+	counters map[string]float64
+}
+
+// New creates a tracer.
+func New(eng *sim.Engine) *Tracer {
+	return &Tracer{eng: eng, open: make(map[int]*Span), counters: make(map[string]float64)}
+}
+
+// Begin opens a span and returns its handle.
+func (t *Tracer) Begin(name, category, resource string) int {
+	t.nextID++
+	t.open[t.nextID] = &Span{
+		Name: name, Category: category, Resource: resource, Start: t.eng.Now(),
+	}
+	return t.nextID
+}
+
+// End closes a span by handle; unknown handles are ignored.
+func (t *Tracer) End(id int) {
+	s, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	s.End = t.eng.Now()
+	t.spans = append(t.spans, *s)
+}
+
+// Count adds delta to a named counter.
+func (t *Tracer) Count(name string, delta float64) { t.counters[name] += delta }
+
+// Counter returns a counter's value.
+func (t *Tracer) Counter(name string) float64 { return t.counters[name] }
+
+// Spans returns the closed spans in completion order.
+func (t *Tracer) Spans() []Span { return t.spans }
+
+// ByCategory returns total time per category.
+func (t *Tracer) ByCategory() map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	for _, s := range t.spans {
+		out[s.Category] += s.Duration()
+	}
+	return out
+}
+
+// ExportParaver renders the spans as Paraver-like state records:
+// kind:resource:applTask:start:end:name.
+func (t *Tracer) ExportParaver() string {
+	var sb strings.Builder
+	sb.WriteString("#Paraver (legato trace)\n")
+	for i, s := range t.spans {
+		fmt.Fprintf(&sb, "1:%s:%d:%d:%d:%s:%s\n",
+			s.Resource, i+1, int64(s.Start), int64(s.End), s.Category, s.Name)
+	}
+	// Counters as event records.
+	names := make([]string, 0, len(t.counters))
+	for n := range t.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "2:%s:%g\n", n, t.counters[n])
+	}
+	return sb.String()
+}
+
+// Summary renders per-category totals.
+func (t *Tracer) Summary() string {
+	cats := t.ByCategory()
+	names := make([]string, 0, len(cats))
+	for n := range cats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %14s\n", "category", "total time")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-20s %14v\n", n, cats[n])
+	}
+	return sb.String()
+}

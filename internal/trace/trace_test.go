@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"legato/internal/sim"
+)
+
+func TestSpanTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	var id int
+	eng.Schedule(10, func() { id = tr.Begin("task-a", "compute", "cpu0") })
+	eng.Schedule(25, func() { tr.End(id) })
+	eng.Run()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans: %d", len(spans))
+	}
+	if spans[0].Start != 10 || spans[0].End != 25 || spans[0].Duration() != 15 {
+		t.Fatalf("span timing: %+v", spans[0])
+	}
+}
+
+func TestEndUnknownIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	tr.End(42) // must not panic
+	if len(tr.Spans()) != 0 {
+		t.Fatal("phantom span")
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	a := tr.Begin("x", "compute", "cpu0")
+	eng.Schedule(5, func() { tr.End(a) })
+	eng.Schedule(5, func() {
+		b := tr.Begin("y", "io", "nvme0")
+		eng.Schedule(7, func() { tr.End(b) })
+	})
+	eng.Run()
+	cats := tr.ByCategory()
+	if cats["compute"] != 5 || cats["io"] != 7 {
+		t.Fatalf("categories: %v", cats)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	tr.Count("bytes", 100)
+	tr.Count("bytes", 50)
+	if tr.Counter("bytes") != 150 {
+		t.Fatalf("counter: %v", tr.Counter("bytes"))
+	}
+}
+
+func TestExportParaver(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	id := tr.Begin("task", "compute", "gpu0")
+	eng.Schedule(3, func() { tr.End(id) })
+	eng.Run()
+	tr.Count("faults", 2)
+	out := tr.ExportParaver()
+	for _, frag := range []string{"#Paraver", "gpu0", "compute", "task", "faults"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("export missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng)
+	id := tr.Begin("t", "ckpt", "node0")
+	eng.Schedule(4, func() { tr.End(id) })
+	eng.Run()
+	if !strings.Contains(tr.Summary(), "ckpt") {
+		t.Fatal("summary missing category")
+	}
+}

@@ -1,0 +1,268 @@
+// Package xitao models the XiTAO runtime of the LEGaTO stack (paper
+// Sec. II-C, [6]): tasks are generalised into TAOs — parallel computations
+// with *elastic* resource width. The runtime molds each TAO's width to the
+// currently available cores, which yields constructive sharing and
+// interference freedom: wide moldable tasks shrink when the machine is
+// busy instead of oversubscribing, and narrow machines never stall wide
+// tasks.
+//
+// TAO speedup follows Amdahl's law with a per-TAO parallel fraction, so
+// width choices trade core-seconds against wall-clock exactly as on real
+// deep multicore topologies.
+package xitao
+
+import (
+	"fmt"
+	"sort"
+
+	"legato/internal/sim"
+)
+
+// TAO is one task assembly object.
+type TAO struct {
+	Name string
+	// Work is the sequential execution cost in giga-operations.
+	Work float64
+	// ParallelFrac is the Amdahl parallel fraction in [0,1].
+	ParallelFrac float64
+	// MaxWidth caps the resource width (0 = unbounded).
+	MaxWidth int
+	// After lists TAOs that must complete first.
+	After []*TAO
+
+	// Fn runs at completion (may be nil).
+	Fn func()
+
+	id    int
+	deps  int
+	succ  []*TAO
+	done  bool
+	state *Record
+}
+
+// Record traces one TAO execution.
+type Record struct {
+	Name  string
+	Width int
+	Start sim.Time
+	End   sim.Time
+	// CoreSeconds is width × duration: the resource cost.
+	CoreSeconds float64
+}
+
+// Speedup returns the Amdahl speedup of the TAO at the given width.
+func (t *TAO) Speedup(width int) float64 {
+	if width <= 1 {
+		return 1
+	}
+	p := t.ParallelFrac
+	return 1.0 / ((1 - p) + p/float64(width))
+}
+
+// WidthPolicy selects TAO widths.
+type WidthPolicy int
+
+const (
+	// Elastic molds width to free cores and queue pressure (the XiTAO
+	// contribution).
+	Elastic WidthPolicy = iota
+	// FixedWide always requests MaxWidth (or all cores).
+	FixedWide
+	// FixedOne serialises each TAO on one core.
+	FixedOne
+)
+
+// String names the policy.
+func (p WidthPolicy) String() string {
+	switch p {
+	case Elastic:
+		return "elastic"
+	case FixedWide:
+		return "fixed-wide"
+	case FixedOne:
+		return "fixed-1"
+	default:
+		return fmt.Sprintf("width-policy(%d)", int(p))
+	}
+}
+
+// Runtime executes TAOs on a pool of identical cores.
+type Runtime struct {
+	eng    *sim.Engine
+	cores  int
+	free   int
+	policy WidthPolicy
+	// GOPSPerCore is the per-core throughput (default 10).
+	GOPSPerCore float64
+
+	taos   []*TAO
+	ready  []*TAO
+	nextID int
+}
+
+// New creates a runtime with the given core count and width policy.
+func New(eng *sim.Engine, cores int, policy WidthPolicy) *Runtime {
+	if cores <= 0 {
+		panic("xitao: core count must be positive")
+	}
+	return &Runtime{eng: eng, cores: cores, free: cores, policy: policy, GOPSPerCore: 10}
+}
+
+// Submit adds a TAO; its After edges must reference already-submitted TAOs.
+func (r *Runtime) Submit(t *TAO) error {
+	if t.Work <= 0 {
+		return fmt.Errorf("xitao: TAO %q needs positive work", t.Name)
+	}
+	if t.ParallelFrac < 0 || t.ParallelFrac > 1 {
+		return fmt.Errorf("xitao: TAO %q parallel fraction %v outside [0,1]", t.Name, t.ParallelFrac)
+	}
+	t.id = r.nextID
+	r.nextID++
+	t.state = &Record{Name: t.Name}
+	for _, dep := range t.After {
+		if !dep.done {
+			dep.succ = append(dep.succ, t)
+			t.deps++
+		}
+	}
+	r.taos = append(r.taos, t)
+	if t.deps == 0 {
+		r.ready = append(r.ready, t)
+	}
+	return nil
+}
+
+// chooseWidth implements the policies. Elastic: split the free cores over
+// the ready queue so concurrent TAOs share constructively, then clamp to
+// the TAO's own scaling limit (beyond which Amdahl returns nothing).
+func (r *Runtime) chooseWidth(t *TAO, readyCount int) int {
+	max := r.cores
+	if t.MaxWidth > 0 && t.MaxWidth < max {
+		max = t.MaxWidth
+	}
+	switch r.policy {
+	case FixedOne:
+		return 1
+	case FixedWide:
+		if max > r.free {
+			return r.free
+		}
+		return max
+	default:
+		// Elastic: work-proportional share of the free cores across the
+		// ready queue (which still contains t), so heavy TAOs get width
+		// and light ones stay narrow.
+		readyWork := 0.0
+		for _, q := range r.ready {
+			readyWork += q.Work
+		}
+		if readyWork <= 0 {
+			readyWork = t.Work
+		}
+		w := int(float64(r.free)*t.Work/readyWork + 0.999)
+		if w < 1 {
+			w = 1
+		}
+		if w > max {
+			w = max
+		}
+		// Don't take cores that Amdahl would waste: stop at the width where
+		// marginal speedup per core drops below 50%.
+		for w > 1 {
+			gain := t.Speedup(w) / t.Speedup(w-1)
+			if gain >= 1.0+0.5/float64(w) {
+				break
+			}
+			w--
+		}
+		return w
+	}
+}
+
+// dispatch starts ready TAOs while cores are free.
+func (r *Runtime) dispatch() {
+	// Highest work first: long TAOs get width early (LPT-flavoured).
+	sort.SliceStable(r.ready, func(i, j int) bool {
+		if r.ready[i].Work != r.ready[j].Work {
+			return r.ready[i].Work > r.ready[j].Work
+		}
+		return r.ready[i].id < r.ready[j].id
+	})
+	for len(r.ready) > 0 && r.free > 0 {
+		t := r.ready[0]
+		w := r.chooseWidth(t, len(r.ready))
+		if w > r.free {
+			w = r.free
+		}
+		if w < 1 {
+			return
+		}
+		r.ready = r.ready[1:]
+		r.start(t, w)
+	}
+}
+
+func (r *Runtime) start(t *TAO, width int) {
+	r.free -= width
+	t.state.Width = width
+	t.state.Start = r.eng.Now()
+	serial := t.Work / r.GOPSPerCore
+	span := sim.Seconds(serial / t.Speedup(width))
+	r.eng.Schedule(span, func() {
+		r.free += width
+		t.done = true
+		t.state.End = r.eng.Now()
+		t.state.CoreSeconds = float64(width) * sim.ToSeconds(t.state.End-t.state.Start)
+		if t.Fn != nil {
+			t.Fn()
+		}
+		for _, s := range t.succ {
+			s.deps--
+			if s.deps == 0 {
+				r.ready = append(r.ready, s)
+			}
+		}
+		r.dispatch()
+	})
+}
+
+// Result summarises a run.
+type Result struct {
+	Makespan sim.Time
+	Records  []Record
+	// CoreSeconds is the total allocated resource cost (width × duration).
+	CoreSeconds float64
+	// UsefulCoreSeconds is the serial work content (what a perfect
+	// width-1 execution would cost).
+	UsefulCoreSeconds float64
+	// Utilization is allocated core-seconds / (cores × makespan).
+	Utilization float64
+	// Efficiency is useful / allocated core-seconds: how little of the
+	// allocation Amdahl wasted (the interference-freedom metric).
+	Efficiency float64
+}
+
+// Run executes all submitted TAOs and reports the schedule.
+func (r *Runtime) Run() (*Result, error) {
+	r.dispatch()
+	r.eng.Run()
+	res := &Result{}
+	for _, t := range r.taos {
+		if !t.done {
+			return nil, fmt.Errorf("xitao: TAO %q never ran", t.Name)
+		}
+		res.Records = append(res.Records, *t.state)
+		if t.state.End > res.Makespan {
+			res.Makespan = t.state.End
+		}
+		res.CoreSeconds += t.state.CoreSeconds
+		res.UsefulCoreSeconds += t.Work / r.GOPSPerCore
+	}
+	if res.Makespan > 0 {
+		res.Utilization = res.CoreSeconds / (float64(r.cores) * sim.ToSeconds(res.Makespan))
+	}
+	if res.CoreSeconds > 0 {
+		res.Efficiency = res.UsefulCoreSeconds / res.CoreSeconds
+	}
+	return res, nil
+}

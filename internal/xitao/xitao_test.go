@@ -1,0 +1,171 @@
+package xitao
+
+import (
+	"math"
+	"testing"
+
+	"legato/internal/sim"
+)
+
+func TestSpeedupAmdahl(t *testing.T) {
+	tao := &TAO{ParallelFrac: 0.9}
+	if s := tao.Speedup(1); s != 1 {
+		t.Fatalf("width-1 speedup: %v", s)
+	}
+	// Amdahl with p=0.9 at w=8: 1/(0.1 + 0.9/8) ≈ 4.706
+	if s := tao.Speedup(8); math.Abs(s-4.705882352941176) > 1e-12 {
+		t.Fatalf("width-8 speedup: %v", s)
+	}
+	// Perfectly parallel TAO: linear.
+	lin := &TAO{ParallelFrac: 1}
+	if s := lin.Speedup(16); s != 16 {
+		t.Fatalf("linear speedup: %v", s)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 4, Elastic)
+	if err := r.Submit(&TAO{Name: "bad", Work: 0}); err == nil {
+		t.Fatal("zero-work TAO accepted")
+	}
+	if err := r.Submit(&TAO{Name: "bad", Work: 1, ParallelFrac: 1.5}); err == nil {
+		t.Fatal("parallel fraction > 1 accepted")
+	}
+}
+
+func TestDependenceOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 4, Elastic)
+	var order []string
+	a := &TAO{Name: "a", Work: 10, ParallelFrac: 1, Fn: func() { order = append(order, "a") }}
+	b := &TAO{Name: "b", Work: 10, ParallelFrac: 1, After: []*TAO{a}, Fn: func() { order = append(order, "b") }}
+	if err := r.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("dependence order: %v", order)
+	}
+}
+
+func TestFixedOneSerialWidth(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 8, FixedOne)
+	for i := 0; i < 4; i++ {
+		_ = r.Submit(&TAO{Name: "t", Work: 100, ParallelFrac: 1})
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Width != 1 {
+			t.Fatalf("fixed-1 ran at width %d", rec.Width)
+		}
+	}
+}
+
+func TestElasticSplitsCoresAcrossReadyTAOs(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 8, Elastic)
+	for i := 0; i < 4; i++ {
+		_ = r.Submit(&TAO{Name: "t", Work: 100, ParallelFrac: 1})
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four perfectly parallel TAOs on 8 cores: each gets width 2 and all
+	// run concurrently.
+	for _, rec := range res.Records {
+		if rec.Width != 2 {
+			t.Fatalf("elastic width: got %d want 2", rec.Width)
+		}
+		if rec.Start != 0 {
+			t.Fatalf("TAO delayed: start %v", rec.Start)
+		}
+	}
+}
+
+func TestElasticAvoidsWastefulWidth(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 16, Elastic)
+	// Mostly serial TAO: wide allocation is waste; elastic must keep it
+	// narrow even with the machine idle.
+	_ = r.Submit(&TAO{Name: "serial", Work: 100, ParallelFrac: 0.2})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Width > 2 {
+		t.Fatalf("serial TAO got width %d", res.Records[0].Width)
+	}
+}
+
+func TestElasticBeatsFixedPoliciesOnMixedLoad(t *testing.T) {
+	mixed := func(policy WidthPolicy) *Result {
+		eng := sim.NewEngine()
+		r := New(eng, 8, policy)
+		// Mixed DAG: a few wide parallel TAOs plus many serial ones.
+		for i := 0; i < 3; i++ {
+			_ = r.Submit(&TAO{Name: "wide", Work: 200, ParallelFrac: 0.95})
+		}
+		for i := 0; i < 4; i++ {
+			_ = r.Submit(&TAO{Name: "narrow", Work: 40, ParallelFrac: 0.1})
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	el := mixed(Elastic)
+	fw := mixed(FixedWide)
+	f1 := mixed(FixedOne)
+	if el.Makespan >= fw.Makespan {
+		t.Fatalf("elastic (%v) not faster than fixed-wide (%v)", el.Makespan, fw.Makespan)
+	}
+	if el.Makespan >= f1.Makespan {
+		t.Fatalf("elastic (%v) not faster than fixed-1 (%v)", el.Makespan, f1.Makespan)
+	}
+	if el.Efficiency <= fw.Efficiency {
+		t.Fatalf("elastic efficiency %.2f not above fixed-wide %.2f", el.Efficiency, fw.Efficiency)
+	}
+}
+
+func TestCoreAccountingNeverNegative(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 4, FixedWide)
+	for i := 0; i < 10; i++ {
+		_ = r.Submit(&TAO{Name: "t", Work: 50, ParallelFrac: 0.8, MaxWidth: 3})
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.free != 4 {
+		t.Fatalf("cores leaked: %d free of 4", r.free)
+	}
+	if res.Utilization > 1.0000001 {
+		t.Fatalf("utilization above 1: %v", res.Utilization)
+	}
+}
+
+func TestMaxWidthRespected(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 16, FixedWide)
+	_ = r.Submit(&TAO{Name: "capped", Work: 100, ParallelFrac: 1, MaxWidth: 4})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Width != 4 {
+		t.Fatalf("MaxWidth ignored: width %d", res.Records[0].Width)
+	}
+}

@@ -1,0 +1,353 @@
+// Package legato is the public facade of the LEGaTO toolset reproduction
+// (B. Salami et al., DATE 2020): a single programming model over a
+// heterogeneous platform in which every task can state its energy, fault
+// tolerance and security requirements, exactly as the ecosystem picture of
+// paper Fig. 1 promises ("All these requirements will be facilitated by a
+// single programming model").
+//
+// A System wires together the layers of Fig. 2:
+//
+//   - hardware: a RECS|BOX chassis or Fig. 9 edge server (internal/hw);
+//   - middleware: management firmware (internal/middleware);
+//   - runtime: the OmpSs-style dependence-aware task runtime
+//     (internal/taskrt) with energy-aware placement;
+//   - fault tolerance: dual-modular replication of critical tasks on
+//     diverse device classes with a voting step (internal/ft semantics);
+//   - security: tasks may run inside a measured enclave with sealed I/O
+//     (internal/secure).
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the full system inventory.
+package legato
+
+import (
+	"fmt"
+
+	"legato/internal/energy"
+	"legato/internal/hw"
+	"legato/internal/middleware"
+	"legato/internal/secure"
+	"legato/internal/sim"
+	"legato/internal/taskrt"
+	"legato/internal/trace"
+)
+
+// Policy re-exports the runtime placement objectives.
+type Policy = taskrt.Policy
+
+// Placement policies.
+const (
+	// MinTime places each task on the device that finishes it soonest.
+	MinTime = taskrt.MinTime
+	// MinEnergy places each task on the device with the least dynamic energy.
+	MinEnergy = taskrt.MinEnergy
+	// MinEDP minimises the energy-delay product.
+	MinEDP = taskrt.MinEDP
+)
+
+// PlatformKind selects the hardware substrate.
+type PlatformKind int
+
+const (
+	// CloudPlatform is a populated RECS|BOX chassis (paper Figs. 3-4).
+	CloudPlatform PlatformKind = iota
+	// EdgePlatform is the Fig. 9 CPU+GPU+FPGA edge server.
+	EdgePlatform
+)
+
+// Config parametrises a System.
+type Config struct {
+	// Platform selects the hardware substrate (default CloudPlatform).
+	Platform PlatformKind
+	// Policy is the placement objective (default MinEnergy — the project's
+	// reason to exist).
+	Policy Policy
+	// TEE enables secure tasks with the given technology (default SGX).
+	TEE secure.TEEKind
+	// PlatformRootKey seeds enclave key derivation; a default test key is
+	// used when empty (production deployments must set it).
+	PlatformRootKey []byte
+}
+
+// Requirements are a task's per-requirement knobs (Fig. 1: energy, fault
+// tolerance, security around the programming model).
+type Requirements struct {
+	// Replicate requests dual-modular redundancy on diverse device
+	// classes with a voting step (Sec. I selective replication).
+	Replicate bool
+	// Secure runs the task inside the system enclave, sealing its inputs
+	// and outputs.
+	Secure bool
+}
+
+// Task is one unit of work submitted to the system.
+type Task struct {
+	Name string
+	// Gops is the computational cost.
+	Gops float64
+	// Cores is the requested width (default 1).
+	Cores int
+	// Targets restricts device classes (empty = any).
+	Targets []hw.Class
+	// In, Out, InOut name data dependences (created on first use).
+	In, Out, InOut []string
+	// Priority breaks scheduler ties.
+	Priority int
+	// Fn runs at completion.
+	Fn func()
+	// Req are the non-functional requirements.
+	Req Requirements
+}
+
+// System is one assembled LEGaTO stack.
+type System struct {
+	cfg Config
+
+	eng     *sim.Engine
+	devices []*hw.Device
+	box     *hw.RECSBox
+	edge    *hw.EdgeServer
+	mgr     *middleware.Manager
+	rt      *taskrt.Runtime
+	tracer  *trace.Tracer
+	enclave *secure.Enclave
+
+	data      map[string]*taskrt.Data
+	secureIO  int64 // bytes sealed/unsealed
+	replicas  int
+	submitted int
+}
+
+// NewSystem assembles a stack per the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	eng := sim.NewEngine()
+	s := &System{cfg: cfg, eng: eng, data: make(map[string]*taskrt.Data)}
+
+	switch cfg.Platform {
+	case EdgePlatform:
+		edge, err := hw.MirrorEdgeCPUGPUFPGA(eng, "edge0")
+		if err != nil {
+			return nil, err
+		}
+		s.edge = edge
+		for _, m := range edge.Modules {
+			s.devices = append(s.devices, m.Device)
+		}
+	default:
+		box, err := hw.StandardCloudBox(eng, "recs0")
+		if err != nil {
+			return nil, err
+		}
+		s.box = box
+		s.mgr = middleware.NewManager(box)
+		for _, ms := range box.Microservers() {
+			s.devices = append(s.devices, ms.Device)
+		}
+	}
+
+	s.rt = taskrt.New(eng, s.devices, cfg.Policy)
+	s.tracer = trace.New(eng)
+
+	rootKey := cfg.PlatformRootKey
+	if len(rootKey) == 0 {
+		rootKey = []byte("legato-development-root-key-0000")
+	}
+	tee := cfg.TEE
+	if tee == secure.SoftwareOnly {
+		tee = secure.SGX
+	}
+	enclave, err := secure.New(tee, []byte("legato-system-enclave"), rootKey)
+	if err != nil {
+		return nil, err
+	}
+	s.enclave = enclave
+	return s, nil
+}
+
+// Engine exposes the virtual clock (examples and tests drive time).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Devices lists the platform's compute devices.
+func (s *System) Devices() []*hw.Device { return s.devices }
+
+// Manager exposes the middleware firmware (nil on the edge platform).
+func (s *System) Manager() *middleware.Manager { return s.mgr }
+
+// Tracer exposes the execution tracer.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// Data declares (or fetches) a named data region of the given size.
+func (s *System) Data(name string, size int64) *taskrt.Data {
+	if d, ok := s.data[name]; ok {
+		return d
+	}
+	d := s.rt.Data(name, size)
+	s.data[name] = d
+	return d
+}
+
+func (s *System) deps(names []string) []*taskrt.Data {
+	out := make([]*taskrt.Data, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.Data(n, 0))
+	}
+	return out
+}
+
+// diverseClasses returns two distinct device classes present on the
+// platform that can serve the task, for replica diversity.
+func (s *System) diverseClasses(t Task) []hw.Class {
+	seen := map[hw.Class]bool{}
+	var classes []hw.Class
+	for _, d := range s.devices {
+		c := d.Spec.Class
+		if seen[c] {
+			continue
+		}
+		if len(t.Targets) > 0 {
+			ok := false
+			for _, want := range t.Targets {
+				if want == c {
+					ok = true
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		if d.Spec.Cores >= max(1, t.Cores) {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	return classes
+}
+
+// Submit adds a task, expanding replication and security requirements into
+// the underlying task graph.
+func (s *System) Submit(t Task) error {
+	if t.Name == "" {
+		return fmt.Errorf("legato: task needs a name")
+	}
+	s.submitted++
+	cores := t.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	fn := t.Fn
+	if t.Req.Secure {
+		// Sealed I/O: charge the enclave for every byte crossing the task
+		// boundary, and run the body inside the enclave.
+		var ioBytes int64
+		for _, names := range [][]string{t.In, t.Out, t.InOut} {
+			for _, n := range names {
+				ioBytes += s.Data(n, 0).Size
+			}
+		}
+		inner := fn
+		fn = func() {
+			s.secureIO += ioBytes
+			s.enclave.RunSecure(func() {
+				if blob, err := s.enclave.Seal(make([]byte, min64(ioBytes, 1<<16))); err == nil {
+					_, _ = s.enclave.Unseal(blob)
+				}
+				if inner != nil {
+					inner()
+				}
+			})
+		}
+	}
+
+	if !t.Req.Replicate {
+		return s.rt.Submit(taskrt.Task{
+			Name: t.Name, Gops: t.Gops, Cores: cores, Targets: t.Targets,
+			In: s.deps(t.In), Out: s.deps(t.Out), InOut: s.deps(t.InOut),
+			Priority: t.Priority, Critical: false, Fn: fn,
+		})
+	}
+
+	// Dual-modular redundancy: two replicas on diverse classes write to
+	// shadow regions; a vote task publishes to the real outputs.
+	classes := s.diverseClasses(t)
+	if len(classes) == 0 {
+		return fmt.Errorf("legato: no device can host replicated task %q", t.Name)
+	}
+	shadowA := s.Data(t.Name+"/replicaA", 64)
+	shadowB := s.Data(t.Name+"/replicaB", 64)
+	targetA := []hw.Class{classes[0]}
+	targetB := []hw.Class{classes[len(classes)-1]} // different class when available
+	ins := s.deps(t.In)
+	inouts := s.deps(t.InOut)
+	if err := s.rt.Submit(taskrt.Task{
+		Name: t.Name + "#a", Gops: t.Gops, Cores: cores, Targets: targetA,
+		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowA},
+		Priority: t.Priority, Critical: true, Fn: fn,
+	}); err != nil {
+		return err
+	}
+	if err := s.rt.Submit(taskrt.Task{
+		Name: t.Name + "#b", Gops: t.Gops, Cores: cores, Targets: targetB,
+		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowB},
+		Priority: t.Priority, Critical: true,
+	}); err != nil {
+		return err
+	}
+	s.replicas++
+	return s.rt.Submit(taskrt.Task{
+		Name: t.Name + "#vote", Gops: 0.01, Cores: 1,
+		In:  []*taskrt.Data{shadowA, shadowB},
+		Out: s.deps(t.Out), InOut: s.deps(t.InOut),
+		Priority: t.Priority, Critical: true,
+	})
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	Makespan sim.Time
+	Records  []taskrt.Record
+	// TaskEnergyJ is the dynamic energy of all task executions.
+	TaskEnergyJ float64
+	// PlatformEnergyJ integrates every device meter (idle + dynamic).
+	PlatformEnergyJ float64
+	// SecurityEnergyJ is the enclave's accumulated cost.
+	SecurityEnergyJ float64
+	// ReplicatedTasks counts DMR-expanded submissions.
+	ReplicatedTasks int
+	// Energy is the per-device breakdown.
+	Energy *energy.Report
+}
+
+// Run executes the submitted graph and returns the report.
+func (s *System) Run() (*Report, error) {
+	res, err := s.rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Makespan:        res.Makespan,
+		Records:         res.Records,
+		TaskEnergyJ:     res.EnergyJ,
+		SecurityEnergyJ: s.enclave.EnergyNJ * 1e-9,
+		ReplicatedTasks: s.replicas,
+		Energy:          energy.NewReport(),
+	}
+	for _, d := range s.devices {
+		rep.Energy.Add(d.ID, d.Meter().Energy())
+		rep.PlatformEnergyJ += d.Meter().Energy()
+	}
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
