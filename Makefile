@@ -1,0 +1,35 @@
+# Tier-1 verification entry point (see ROADMAP.md): `make ci` is what a
+# reviewer runs to accept a change.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-short run-bench clean
+
+ci: vet build race bench-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — smoke-checks the experiment
+# harness and the E11 >= 2x throughput gate without a full run.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x ./...
+
+# Regenerate every paper table/figure (add QUICK=1 for smaller sweeps).
+run-bench:
+	$(GO) run ./cmd/legato-bench $(if $(QUICK),-quick)
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@ package legato
 // custom metrics so `go test -bench` output documents the reproduction.
 
 import (
+	"context"
 	"testing"
 
 	"legato/internal/experiments"
@@ -166,6 +167,25 @@ func BenchmarkTaskRuntime(b *testing.B) {
 		if _, err := sys.Run(); err != nil {
 			b.Fatal(err)
 		}
+		_ = sys.Close(context.Background())
+	}
+}
+
+// BenchmarkMultiJobThroughput measures the concurrent job engine (E11):
+// 8 independent task graphs through an 8-worker session versus strictly
+// serial submission, compared in fleet time. The acceptance bar for the
+// engine is speedup-x >= 2; with a contention-free cloud fleet the greedy
+// lane schedule reaches ~8x.
+func BenchmarkMultiJobThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		serial := runThroughputSession(b, 1)
+		conc := runThroughputSession(b, 8)
+		speedup := float64(serial.SessionMakespan) / float64(conc.SessionMakespan)
+		b.ReportMetric(speedup, "speedup-x")
+		b.ReportMetric(float64(conc.AdmissionStalls), "admission-stalls")
+		if speedup < 2 {
+			b.Fatalf("concurrent engine speedup %.2fx, want >= 2x", speedup)
+		}
 	}
 }
 
@@ -224,6 +244,7 @@ func BenchmarkRECSBoxConstruction(b *testing.B) {
 		if got := len(sys.Devices()); got != 15 {
 			b.Fatalf("devices: %d", got)
 		}
+		_ = sys.Close(context.Background())
 	}
 	_ = hw.MaxMicroservers
 }

@@ -99,6 +99,19 @@ func main() {
 	}
 	fmt.Print(experiments.XiTAOTable(xt))
 
+	section("E11: concurrent multi-job engine throughput")
+	widths := []int{1, 2, 4, 8}
+	mjJobs := 8
+	if *quick {
+		widths = []int{1, 4}
+		mjJobs = 4
+	}
+	mj, err := experiments.MultiJob(widths, mjJobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.MultiJobTable(mj))
+
 	section("Ablation: SECDED ECC mitigation for sub-guardband operation")
 	eccRows, err := experiments.ECCMitigation(64<<10, 4)
 	if err != nil {

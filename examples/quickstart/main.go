@@ -1,10 +1,11 @@
 // Quickstart: assemble a LEGaTO system on a RECS|BOX cloud platform,
-// submit a small dependent task graph with mixed requirements (plain,
-// replicated, secure), and print the energy report — the Fig. 1 ecosystem
-// in ~60 lines.
+// build a small dependent task graph with mixed requirements (plain,
+// replicated, secure) through the fluent Job/TaskBuilder API, and print
+// the energy report — the Fig. 1 ecosystem in ~60 lines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,37 +17,44 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	sys, err := legato.NewSystem(legato.Config{
-		Platform: legato.CloudPlatform,
-		Policy:   legato.MinEnergy, // the project's default objective
-	})
+	sys, err := legato.NewSystem(
+		legato.WithPlatform(legato.CloudPlatform),
+		legato.WithPolicy(legato.MinEnergy), // the project's default objective
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	defer sys.Close(ctx)
+
+	job, err := sys.NewJob("quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A small pipeline: ingest → preprocess (GPU-friendly) → two analyses
-	// (one replicated, one secured) → report.
-	tasks := []legato.Task{
-		{Name: "ingest", Gops: 20, Out: []string{"raw"}},
-		{Name: "preprocess", Gops: 120, Cores: 4,
-			Targets: []hw.Class{hw.GPU, hw.CPUx86},
-			In:      []string{"raw"}, Out: []string{"clean"}},
-		{Name: "analyze-critical", Gops: 80,
-			In: []string{"clean"}, Out: []string{"scores"},
-			Req: legato.Requirements{Replicate: true}},
-		{Name: "analyze-private", Gops: 40,
-			In: []string{"clean"}, Out: []string{"insights"},
-			Req: legato.Requirements{Secure: true}},
-		{Name: "report", Gops: 5,
-			In: []string{"scores", "insights"}, Out: []string{"summary"}},
-	}
-	for _, t := range tasks {
-		if err := sys.Submit(t); err != nil {
-			log.Fatalf("submit %s: %v", t.Name, err)
+	// Declare the data regions once, then wire the pipeline through typed
+	// handles: ingest → preprocess (GPU-friendly) → two analyses (one
+	// replicated, one secured) → report.
+	raw := job.Data("raw", 4096)
+	clean := job.Data("clean", 4096)
+	scores := job.Data("scores", 512)
+	insights := job.Data("insights", 512)
+	summary := job.Data("summary", 256)
+
+	for _, submit := range []func() error{
+		job.Task("ingest").Gops(20).Out(raw).Submit,
+		job.Task("preprocess").Gops(120).Cores(4).
+			On(hw.GPU, hw.CPUx86).In(raw).Out(clean).Submit,
+		job.Task("analyze-critical").Gops(80).In(clean).Out(scores).Replicated().Submit,
+		job.Task("analyze-private").Gops(40).In(clean).Out(insights).Secure().Submit,
+		job.Task("report").Gops(5).In(scores, insights).Out(summary).Submit,
+	} {
+		if err := submit(); err != nil {
+			log.Fatal(err)
 		}
 	}
 
-	rep, err := sys.Run()
+	rep, err := job.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

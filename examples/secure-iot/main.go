@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -64,23 +65,30 @@ func main() {
 		secure.OverheadRatio(sw, hw))
 
 	// The same gateway as LEGaTO tasks with the Secure requirement on the
-	// edge platform.
-	sys, err := legato.NewSystem(legato.Config{Platform: legato.EdgePlatform, TEE: secure.TrustZone})
+	// edge platform, a TrustZone enclave and the gateway's own root key.
+	sys, err := legato.NewSystem(
+		legato.WithPlatform(legato.EdgePlatform),
+		legato.WithTEE(secure.TrustZone),
+		legato.WithRootKey(platformKey),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.Data("sensor-batch", 4096)
+	ctx := context.Background()
+	defer sys.Close(ctx)
+	job, err := sys.NewJob("gateway")
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := job.Data("sensor-batch", 4096)
 	for i := 0; i < 5; i++ {
-		if err := sys.Submit(legato.Task{
-			Name: fmt.Sprintf("process-batch-%d", i),
-			Gops: 10, In: []string{"sensor-batch"},
-			Out: []string{fmt.Sprintf("aggregate-%d", i)},
-			Req: legato.Requirements{Secure: true},
-		}); err != nil {
+		agg := job.Data(fmt.Sprintf("aggregate-%d", i), 256)
+		if err := job.Task(fmt.Sprintf("process-batch-%d", i)).
+			Gops(10).In(batch).Out(agg).Secure().Submit(); err != nil {
 			log.Fatal(err)
 		}
 	}
-	rep, err := sys.Run()
+	rep, err := job.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

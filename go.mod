@@ -1,0 +1,3 @@
+module legato
+
+go 1.22

@@ -1,0 +1,469 @@
+// Package engine implements the concurrent multi-job execution engine of
+// the LEGaTO stack: a long-lived worker pool that runs many independent
+// task graphs ("jobs") in parallel over one shared heterogeneous fleet.
+// This is the managed-platform half of the paper's Fig. 2 — the task
+// runtime below stays a single-clock scheduler, and this layer multiplexes
+// many of them over the hardware:
+//
+//   - every job owns a private virtual clock (sim.Engine) and a private
+//     mirror of the platform's devices, so its schedule and energy
+//     accounting are isolated and deterministic;
+//   - a Fleet ledger arbitrates the real device capacity between jobs
+//     (taskrt.Admission), so the union of all placements never
+//     oversubscribes any device;
+//   - jobs are context-aware end to end: submission contexts carry
+//     cancellation and per-job deadlines into the scheduler loop, and
+//     Shutdown drains gracefully.
+//
+// Fleet-time accounting: the engine maintains one virtual "lane" per
+// worker and charges each completed job's makespan to the least-loaded
+// lane (greedy list scheduling, independent of which goroutine happened to
+// execute the job). The session makespan is the maximum lane clock: with
+// one worker this degenerates to serial submission (sum of job makespans);
+// with a full-width pool independent jobs overlap and the session makespan
+// approaches the slowest job. The overlap is an honest estimate of fleet
+// occupancy whenever admission never stalled (Stats.AdmissionStalls = 0,
+// i.e. the fleet really could host the concurrent jobs side by side);
+// under contention it is a lower bound, and the stall counter says so.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"legato/internal/hw"
+	"legato/internal/monitor"
+	"legato/internal/sim"
+	"legato/internal/taskrt"
+)
+
+// Config parametrises an Engine.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 4).
+	Workers int
+	// QueueDepth bounds the submission queue (default 4096).
+	QueueDepth int
+	// Policy is the placement objective used by every job's scheduler.
+	Policy taskrt.Policy
+	// NewPlatform builds a job-local mirror of the platform on the job's
+	// private clock. Mirrors must reproduce the same device IDs as Fleet.
+	NewPlatform func(*sim.Engine) ([]*hw.Device, error)
+	// Fleet lists the reference devices defining shared capacity. When
+	// nil, a throwaway mirror from NewPlatform defines it.
+	Fleet []*hw.Device
+	// Registry receives per-job and per-device counters (optional).
+	Registry *monitor.Registry
+}
+
+// State is a job's lifecycle phase.
+type State int
+
+const (
+	// Building: tasks are still being submitted to the job.
+	Building State = iota
+	// Queued: submitted to the engine, waiting for a worker.
+	Queued
+	// Running: a worker is executing the job's graph.
+	Running
+	// Done: completed successfully; the result is available.
+	Done
+	// Failed: aborted with a non-context error.
+	Failed
+	// Cancelled: aborted by context cancellation or deadline.
+	Cancelled
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Building:
+		return "building"
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is one task graph scheduled by the engine.
+type Job struct {
+	ID   int
+	Name string
+
+	clock   *sim.Engine
+	rt      *taskrt.Runtime
+	devices []*hw.Device
+	eng     *Engine
+
+	mu       sync.Mutex
+	state    State
+	timeout  time.Duration
+	ctx      context.Context
+	cancel   context.CancelFunc
+	result   *taskrt.Result
+	err      error
+	fleetPos sim.Time // fleet-clock position at which the job began
+	done     chan struct{}
+}
+
+// Runtime exposes the job's private scheduler for task submission and
+// hook registration. It must not be touched after Submit.
+func (j *Job) Runtime() *taskrt.Runtime { return j.rt }
+
+// Clock exposes the job's private virtual clock.
+func (j *Job) Clock() *sim.Engine { return j.clock }
+
+// Devices lists the job's platform mirror.
+func (j *Job) Devices() []*hw.Device { return j.devices }
+
+// SetTimeout sets a per-job wall-clock budget applied from the moment the
+// job is submitted; zero means no deadline. Must be called before Submit.
+func (j *Job) SetTimeout(d time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.timeout = d
+}
+
+// State reports the job's lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cancel aborts the job; a no-op before submission or after completion.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes or ctx fires, and returns the job's
+// result. A ctx abort leaves the job running; use Cancel to stop it.
+func (j *Job) Wait(ctx context.Context) (*taskrt.Result, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// FleetStart returns the fleet-clock position at which the job began
+// occupying the fleet (valid once the job is terminal).
+func (j *Job) FleetStart() sim.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fleetPos
+}
+
+func (j *Job) finish(res *taskrt.Result, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = Done
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = Cancelled
+	default:
+		j.state = Failed
+	}
+	j.result, j.err = res, err
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	close(j.done)
+}
+
+// Stats summarises a session.
+type Stats struct {
+	JobsSubmitted, JobsCompleted, JobsFailed, JobsCancelled int
+	// TasksCompleted counts task executions across all completed jobs.
+	TasksCompleted int
+	// EnergyJ sums dynamic task energy across all completed jobs.
+	EnergyJ float64
+	// TotalJobTime is the sum of job makespans — the fleet time serial
+	// submission would need.
+	TotalJobTime sim.Time
+	// SessionMakespan is the fleet time the engine actually needed (max
+	// worker fleet clock).
+	SessionMakespan sim.Time
+	// AdmissionStalls counts failed admission attempts (contention).
+	AdmissionStalls uint64
+}
+
+// Speedup is the throughput gain of the session over serial submission.
+func (s Stats) Speedup() float64 {
+	if s.SessionMakespan <= 0 {
+		return 1
+	}
+	return float64(s.TotalJobTime) / float64(s.SessionMakespan)
+}
+
+// Engine is the long-lived multi-job engine.
+type Engine struct {
+	cfg   Config
+	fleet *Fleet
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   []*Job
+	nextID int
+	closed bool
+	lanes  []sim.Time // per-slot fleet clocks (see package doc)
+	stats  Stats
+}
+
+// New starts an engine with its worker pool. The caller must eventually
+// call Shutdown to drain it.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NewPlatform == nil {
+		return nil, fmt.Errorf("engine: Config.NewPlatform is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	ref := cfg.Fleet
+	if ref == nil {
+		devs, err := cfg.NewPlatform(sim.NewEngine())
+		if err != nil {
+			return nil, fmt.Errorf("engine: building reference platform: %w", err)
+		}
+		ref = devs
+	}
+	e := &Engine{
+		cfg:   cfg,
+		fleet: NewFleet(ref),
+		queue: make(chan *Job, cfg.QueueDepth),
+		lanes: make([]sim.Time, cfg.Workers),
+	}
+	e.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go e.worker(w)
+	}
+	return e, nil
+}
+
+// Fleet exposes the shared admission ledger.
+func (e *Engine) Fleet() *Fleet { return e.fleet }
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// NewJob creates an empty job with a private clock and platform mirror,
+// wired to the shared fleet. Submit tasks through Runtime(), then hand the
+// job to Submit.
+func (e *Engine) NewJob(name string) (*Job, error) {
+	clock := sim.NewEngine()
+	devs, err := e.cfg.NewPlatform(clock)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building platform mirror for job %q: %w", name, err)
+	}
+	rt := taskrt.New(clock, devs, e.cfg.Policy)
+	rt.SetAdmission(e.fleet)
+
+	e.mu.Lock()
+	e.nextID++
+	j := &Job{
+		ID: e.nextID, Name: name,
+		clock: clock, rt: rt, devices: devs, eng: e,
+		done: make(chan struct{}),
+	}
+	e.jobs = append(e.jobs, j)
+	e.mu.Unlock()
+
+	if reg := e.cfg.Registry; reg != nil {
+		scope := "job/" + name
+		rt.AddHooks(taskrt.Hooks{
+			Queued: func(string) { reg.Add(scope, "tasks-queued", 1) },
+			Started: func(taskrt.Record) {
+				reg.Add(scope, "tasks-running", 1)
+			},
+			Finished: func(rec taskrt.Record) {
+				reg.Add(scope, "tasks-running", -1)
+				reg.Add(scope, "tasks-completed", 1)
+				reg.Add(scope, "energy-J", float64(rec.EnergyJ))
+				dev := "device/" + rec.Device
+				reg.Add(dev, "tasks-completed", 1)
+				reg.Add(dev, "energy-J", float64(rec.EnergyJ))
+				reg.Add(dev, "busy-s", sim.ToSeconds(rec.End-rec.Start))
+			},
+		})
+	}
+	return j, nil
+}
+
+// Submit queues a job for execution under ctx; the job additionally
+// honours any per-job timeout set with SetTimeout.
+func (e *Engine) Submit(ctx context.Context, j *Job) error {
+	if j.eng != e {
+		return fmt.Errorf("engine: job %q belongs to a different engine", j.Name)
+	}
+	j.mu.Lock()
+	if j.state != Building {
+		j.mu.Unlock()
+		return fmt.Errorf("engine: job %q already submitted (%s)", j.Name, j.state)
+	}
+	if j.timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, j.timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(ctx)
+	}
+	j.state = Queued
+	j.mu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		j.finish(nil, fmt.Errorf("engine: shut down"))
+		return fmt.Errorf("engine: shut down")
+	}
+	e.stats.JobsSubmitted++
+	select {
+	case e.queue <- j:
+		e.mu.Unlock()
+		return nil
+	default:
+		e.stats.JobsSubmitted--
+		e.mu.Unlock()
+		j.finish(nil, fmt.Errorf("engine: queue full"))
+		return fmt.Errorf("engine: queue full (%d jobs)", e.cfg.QueueDepth)
+	}
+}
+
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	_ = w
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+func (e *Engine) runJob(j *Job) {
+	j.mu.Lock()
+	ctx := j.ctx
+	if err := ctx.Err(); err != nil {
+		j.mu.Unlock()
+		e.account(j, nil, err)
+		return
+	}
+	j.state = Running
+	j.mu.Unlock()
+
+	res, err := j.rt.RunContext(ctx)
+	e.account(j, res, err)
+}
+
+// account charges the job's makespan to the least-loaded fleet lane and
+// updates session statistics, then completes the job.
+func (e *Engine) account(j *Job, res *taskrt.Result, err error) {
+	e.mu.Lock()
+	lane := 0
+	for i, c := range e.lanes {
+		if c < e.lanes[lane] {
+			lane = i
+		}
+	}
+	start := e.lanes[lane]
+	if res != nil {
+		e.lanes[lane] += res.Makespan
+		e.stats.TotalJobTime += res.Makespan
+		e.stats.TasksCompleted += len(res.Records)
+		e.stats.EnergyJ += float64(res.EnergyJ)
+	}
+	switch {
+	case err == nil:
+		e.stats.JobsCompleted++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.stats.JobsCancelled++
+	default:
+		e.stats.JobsFailed++
+	}
+	e.mu.Unlock()
+
+	j.mu.Lock()
+	j.fleetPos = start
+	j.mu.Unlock()
+
+	if reg := e.cfg.Registry; reg != nil {
+		scope := "job/" + j.Name
+		if res != nil {
+			reg.Set(scope, "makespan-s", sim.ToSeconds(res.Makespan))
+		}
+		reg.Set(scope, "fleet-start-s", sim.ToSeconds(start))
+	}
+	j.finish(res, err)
+}
+
+// Stats snapshots the session counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	for _, c := range e.lanes {
+		if c > s.SessionMakespan {
+			s.SessionMakespan = c
+		}
+	}
+	s.AdmissionStalls = e.fleet.Stalls()
+	return s
+}
+
+// Jobs snapshots all jobs ever created on this engine.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.jobs...)
+}
+
+// Shutdown stops accepting jobs and drains the pool: already-queued jobs
+// still run. If ctx fires first, every outstanding job is cancelled and
+// Shutdown returns the context error once the workers exit.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		for _, j := range e.Jobs() {
+			j.Cancel()
+		}
+		<-drained
+		return ctx.Err()
+	}
+}

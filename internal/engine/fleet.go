@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"legato/internal/hw"
+)
+
+// Fleet is the shared per-device admission ledger: the one source of truth
+// for how many cores of each physical device are occupied across all
+// concurrently executing jobs. Each job schedules against its own platform
+// mirror (same device IDs, private virtual clock); the ledger is what
+// keeps the union of their placements feasible on the real fleet — a
+// TryAcquire that would oversubscribe a device fails, and the job parks
+// until a sibling releases capacity.
+//
+// Fleet implements taskrt.Admission and is safe for concurrent use.
+type Fleet struct {
+	mu     sync.Mutex
+	cap    map[string]int
+	free   map[string]int
+	peak   map[string]int // high-water mark of in-use cores, per device
+	gen    chan struct{}  // closed and replaced on every Release
+	stalls uint64         // failed admission attempts (contention signal)
+}
+
+// NewFleet builds a ledger from the reference devices; capacity is each
+// device's core count.
+func NewFleet(devices []*hw.Device) *Fleet {
+	f := &Fleet{
+		cap:  make(map[string]int, len(devices)),
+		free: make(map[string]int, len(devices)),
+		peak: make(map[string]int, len(devices)),
+		gen:  make(chan struct{}),
+	}
+	for _, d := range devices {
+		f.cap[d.ID] = d.Spec.Cores
+		f.free[d.ID] = d.Spec.Cores
+	}
+	return f
+}
+
+// TryAcquire claims cores on a device; it fails (without blocking) when
+// the remaining capacity is insufficient or the device is unknown.
+func (f *Fleet) TryAcquire(deviceID string, cores int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	free, ok := f.free[deviceID]
+	if !ok || free < cores {
+		f.stalls++
+		return false
+	}
+	f.free[deviceID] = free - cores
+	if used := f.cap[deviceID] - f.free[deviceID]; used > f.peak[deviceID] {
+		f.peak[deviceID] = used
+	}
+	return true
+}
+
+// Release returns cores to a device and wakes every parked job.
+func (f *Fleet) Release(deviceID string, cores int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free[deviceID] += cores
+	if f.free[deviceID] > f.cap[deviceID] {
+		panic(fmt.Sprintf("engine: fleet over-release on %s (%d free of %d)",
+			deviceID, f.free[deviceID], f.cap[deviceID]))
+	}
+	close(f.gen)
+	f.gen = make(chan struct{})
+}
+
+// Changed returns a channel closed on the next Release after this call.
+func (f *Fleet) Changed() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+
+// Capacity returns a device's total cores (zero if unknown).
+func (f *Fleet) Capacity(deviceID string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cap[deviceID]
+}
+
+// InUse returns a device's currently occupied cores.
+func (f *Fleet) InUse(deviceID string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cap[deviceID] - f.free[deviceID]
+}
+
+// Peak returns the high-water mark of occupied cores on a device — the
+// oversubscription witness: it can never exceed Capacity.
+func (f *Fleet) Peak(deviceID string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peak[deviceID]
+}
+
+// Stalls counts failed admission attempts across all devices.
+func (f *Fleet) Stalls() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalls
+}

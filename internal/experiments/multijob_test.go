@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestMultiJobExperiment(t *testing.T) {
+	rows, err := MultiJob([]int{1, 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	serial, conc := rows[0], rows[1]
+	if serial.SessionMakespan != serial.TotalJobTime {
+		t.Fatalf("serial session %v != job-time sum %v",
+			serial.SessionMakespan, serial.TotalJobTime)
+	}
+	if conc.TotalJobTime != serial.TotalJobTime {
+		t.Fatalf("job work differs across widths: %v vs %v",
+			conc.TotalJobTime, serial.TotalJobTime)
+	}
+	if conc.SpeedupX < 2 {
+		t.Fatalf("speedup %.2fx, want >= 2x", conc.SpeedupX)
+	}
+	if conc.TasksCompleted != 8*4*5 {
+		t.Fatalf("tasks = %d", conc.TasksCompleted)
+	}
+	if MultiJobTable(rows) == "" {
+		t.Fatal("empty table")
+	}
+}

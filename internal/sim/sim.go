@@ -56,11 +56,16 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; model processes are expressed as chains of callbacks.
+// In the multi-job engine every job owns exactly one Engine — its private
+// virtual clock — and the owning worker goroutine is the only one that may
+// touch it; cross-job coordination happens in wall-clock time through the
+// admission ledger, never by sharing a clock.
 type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
 	steps  uint64
+	live   int // scheduled events not yet fired or cancelled
 	procs  int
 }
 
@@ -74,24 +79,20 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending reports the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev  *event
+	eng *Engine
+}
 
 // Cancel removes the event from the schedule; cancelling an already-fired
 // or already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && !h.ev.dead {
 		h.ev.dead = true
+		h.eng.live--
 	}
 }
 
@@ -104,7 +105,8 @@ func (e *Engine) Schedule(delay Time, fn func()) Handle {
 	e.seq++
 	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
 	heap.Push(&e.events, ev)
-	return Handle{ev: ev}
+	e.live++
+	return Handle{ev: ev, eng: e}
 }
 
 // ScheduleAt queues fn at an absolute virtual time, which must not be in
@@ -126,6 +128,8 @@ func (e *Engine) Step() bool {
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
+		ev.dead = true // spent: a late Cancel must be a no-op
+		e.live--
 		e.now = ev.at
 		e.steps++
 		ev.fn()

@@ -8,6 +8,7 @@
 package taskrt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -15,6 +16,33 @@ import (
 	"legato/internal/hw"
 	"legato/internal/sim"
 )
+
+// Admission arbitrates real device capacity between runtimes that execute
+// concurrently on independent virtual clocks (the multi-job engine). Each
+// runtime schedules against its own platform mirror, but before a task may
+// occupy cores it must win the corresponding capacity from the shared
+// ledger, keyed by device ID — so the union of all placements never
+// oversubscribes the physical fleet.
+//
+// Implementations must be safe for concurrent use. Changed returns a
+// channel that is closed on the next Release after the call; a runtime
+// grabs it before dispatching so a release racing with a failed
+// TryAcquire can never be missed.
+type Admission interface {
+	TryAcquire(deviceID string, cores int) bool
+	Release(deviceID string, cores int)
+	Changed() <-chan struct{}
+}
+
+// Hooks observe the task lifecycle. Hooks registered with AddHooks are
+// invoked on the goroutine driving the runtime: Queued at submission,
+// Started when a task begins executing on a device, Finished when it
+// completes (with the full Record). Any field may be nil.
+type Hooks struct {
+	Queued   func(name string)
+	Started  func(Record)
+	Finished func(Record)
+}
 
 // Data is a named data region tasks depend on.
 type Data struct {
@@ -121,12 +149,26 @@ type Runtime struct {
 	ready  []*node
 	nextID int
 	inDAG  int // submitted, not finished
+
+	adm     Admission      // nil: sole owner of its devices
+	hooks   []Hooks
+	held    map[string]int // admission grants currently held, by device ID
+	blocked bool           // a ready task lost admission this dispatch round
 }
 
 // New creates a runtime over the given devices.
 func New(eng *sim.Engine, devices []*hw.Device, policy Policy) *Runtime {
-	return &Runtime{eng: eng, devices: devices, policy: policy}
+	return &Runtime{eng: eng, devices: devices, policy: policy, held: make(map[string]int)}
 }
+
+// SetAdmission installs a shared capacity ledger. Must be called before the
+// first Submit. With no admission the runtime assumes exclusive ownership
+// of its devices, which is the historical single-tenant behaviour.
+func (r *Runtime) SetAdmission(a Admission) { r.adm = a }
+
+// AddHooks registers lifecycle observers; multiple sets compose and fire
+// in registration order.
+func (r *Runtime) AddHooks(h Hooks) { r.hooks = append(r.hooks, h) }
 
 // Data declares a data region.
 func (r *Runtime) Data(name string, size int64) *Data {
@@ -184,6 +226,11 @@ func (r *Runtime) Submit(t Task) error {
 
 	r.nodes = append(r.nodes, n)
 	r.inDAG++
+	for _, h := range r.hooks {
+		if h.Queued != nil {
+			h.Queued(t.Name)
+		}
+	}
 	if n.deps == 0 {
 		r.enqueue(n)
 	}
@@ -258,8 +305,16 @@ func (r *Runtime) dispatch() {
 			if best == -1 {
 				continue // no device free for this task right now
 			}
+			dev := r.devices[best]
+			if r.adm != nil && !r.adm.TryAcquire(dev.ID, n.task.Cores) {
+				// The fleet capacity behind this device is occupied by a
+				// sibling job; leave the task queued and note the stall so
+				// RunContext knows to wait for a global release.
+				r.blocked = true
+				continue
+			}
 			r.ready = append(r.ready[:qi], r.ready[qi+1:]...)
-			r.start(n, r.devices[best])
+			r.start(n, dev)
 			assigned = true
 			break
 		}
@@ -269,27 +324,48 @@ func (r *Runtime) dispatch() {
 	}
 }
 
-// start runs n on dev.
+// start runs n on dev. The caller has already won global admission for the
+// task's cores when a shared ledger is installed.
 func (r *Runtime) start(n *node, dev *hw.Device) {
 	t := n.task
 	if err := dev.Acquire(t.Cores); err != nil {
-		// Raced with another assignment; requeue.
+		// Raced with another assignment; requeue and give back admission.
+		if r.adm != nil {
+			r.adm.Release(dev.ID, t.Cores)
+		}
 		r.enqueue(n)
 		return
+	}
+	if r.adm != nil {
+		r.held[dev.ID] += t.Cores
 	}
 	n.started = true
 	n.record.Device = dev.ID
 	n.record.Class = dev.Spec.Class
 	n.record.Start = r.eng.Now()
 	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores)
+	for _, h := range r.hooks {
+		if h.Started != nil {
+			h.Started(n.record)
+		}
+	}
 	span := dev.ExecTime(t.Gops, t.Cores)
 	r.eng.Schedule(span, func() {
 		dev.Release(t.Cores)
+		if r.adm != nil {
+			r.held[dev.ID] -= t.Cores
+			r.adm.Release(dev.ID, t.Cores)
+		}
 		n.record.End = r.eng.Now()
 		n.done = true
 		r.inDAG--
 		if t.Fn != nil {
 			t.Fn()
+		}
+		for _, h := range r.hooks {
+			if h.Finished != nil {
+				h.Finished(n.record)
+			}
 		}
 		for _, s := range n.succ {
 			s.deps--
@@ -312,14 +388,60 @@ type Result struct {
 // Run executes the submitted graph to completion and returns the trace.
 // It fails if tasks remain blocked (a dependence cycle cannot occur by
 // construction, so leftovers mean no compatible device exists).
-func (r *Runtime) Run() (*Result, error) {
-	r.dispatch()
-	r.eng.Run()
+func (r *Runtime) Run() (*Result, error) { return r.RunContext(context.Background()) }
+
+// RunContext executes the submitted graph to completion, honouring ctx:
+// cancellation or deadline expiry is checked between every simulated event,
+// aborts the run with the context's error, and returns any admission grants
+// held by in-flight tasks so sibling runtimes can make progress. When the
+// runtime shares devices through an Admission ledger and every ready task
+// is stalled on foreign occupancy, the goroutine parks until capacity is
+// released elsewhere (or ctx fires) — the job's virtual clock does not
+// advance while parked. A runtime that returned an error must not be run
+// again.
+func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
+	abort := func(err error) (*Result, error) {
+		r.releaseHeld()
+		return nil, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+		// Grab the change channel before dispatching: a release that races
+		// with a failed TryAcquire below closes this very channel, so the
+		// park cannot miss the wakeup.
+		var changed <-chan struct{}
+		if r.adm != nil {
+			changed = r.adm.Changed()
+		}
+		r.blocked = false
+		r.dispatch()
+		if r.eng.Step() {
+			continue
+		}
+		// Event queue drained: either the graph is done, or progress needs
+		// capacity currently owned by a sibling job, or no device can ever
+		// host a leftover task.
+		if r.inDAG == 0 {
+			break
+		}
+		if r.blocked && r.adm != nil {
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return abort(ctx.Err())
+			}
+			continue
+		}
+		for _, n := range r.nodes {
+			if !n.done {
+				return abort(fmt.Errorf("taskrt: task %q never ran (no compatible device?)", n.task.Name))
+			}
+		}
+	}
 	res := &Result{}
 	for _, n := range r.nodes {
-		if !n.done {
-			return nil, fmt.Errorf("taskrt: task %q never ran (no compatible device?)", n.task.Name)
-		}
 		res.Records = append(res.Records, n.record)
 		if n.record.End > res.Makespan {
 			res.Makespan = n.record.End
@@ -327,4 +449,18 @@ func (r *Runtime) Run() (*Result, error) {
 		res.EnergyJ += n.record.EnergyJ
 	}
 	return res, nil
+}
+
+// releaseHeld returns every admission grant still held by in-flight tasks,
+// so a cancelled job cannot strand fleet capacity.
+func (r *Runtime) releaseHeld() {
+	if r.adm == nil {
+		return
+	}
+	for id, n := range r.held {
+		if n > 0 {
+			r.adm.Release(id, n)
+		}
+		delete(r.held, id)
+	}
 }

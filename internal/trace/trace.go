@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"legato/internal/sim"
 )
@@ -24,8 +25,11 @@ type Span struct {
 // Duration returns the span length.
 func (s Span) Duration() sim.Time { return s.End - s.Start }
 
-// Tracer records spans and counters against an engine's clock.
+// Tracer records spans and counters against an engine's clock. A Tracer is
+// safe for concurrent use, so per-job traces can merge into a session
+// trace while other jobs are still recording.
 type Tracer struct {
+	mu       sync.Mutex
 	eng      *sim.Engine
 	spans    []Span
 	open     map[int]*Span
@@ -40,6 +44,8 @@ func New(eng *sim.Engine) *Tracer {
 
 // Begin opens a span and returns its handle.
 func (t *Tracer) Begin(name, category, resource string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.nextID++
 	t.open[t.nextID] = &Span{
 		Name: name, Category: category, Resource: resource, Start: t.eng.Now(),
@@ -49,6 +55,8 @@ func (t *Tracer) Begin(name, category, resource string) int {
 
 // End closes a span by handle; unknown handles are ignored.
 func (t *Tracer) End(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	s, ok := t.open[id]
 	if !ok {
 		return
@@ -59,16 +67,63 @@ func (t *Tracer) End(id int) {
 }
 
 // Count adds delta to a named counter.
-func (t *Tracer) Count(name string, delta float64) { t.counters[name] += delta }
+func (t *Tracer) Count(name string, delta float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counters[name] += delta
+}
 
 // Counter returns a counter's value.
-func (t *Tracer) Counter(name string) float64 { return t.counters[name] }
+func (t *Tracer) Counter(name string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
 
-// Spans returns the closed spans in completion order.
-func (t *Tracer) Spans() []Span { return t.spans }
+// Spans returns a copy of the closed spans in completion order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Add records an already-closed span with explicit timestamps — the path
+// used when task records are replayed into a trace after the fact (a job
+// worker observing taskrt completion records).
+func (t *Tracer) Add(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, s)
+}
+
+// Merge folds another tracer's closed spans and counters into t. Jobs
+// record against their own virtual clock; merging preserves their
+// job-relative timestamps, so merged spans are comparable per resource,
+// not across jobs.
+func (t *Tracer) Merge(other *Tracer) {
+	if other == nil || other == t {
+		return
+	}
+	other.mu.Lock()
+	spans := append([]Span(nil), other.spans...)
+	counters := make(map[string]float64, len(other.counters))
+	for k, v := range other.counters {
+		counters[k] = v
+	}
+	other.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, spans...)
+	for k, v := range counters {
+		t.counters[k] += v
+	}
+}
 
 // ByCategory returns total time per category.
 func (t *Tracer) ByCategory() map[string]sim.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make(map[string]sim.Time)
 	for _, s := range t.spans {
 		out[s.Category] += s.Duration()
@@ -79,6 +134,8 @@ func (t *Tracer) ByCategory() map[string]sim.Time {
 // ExportParaver renders the spans as Paraver-like state records:
 // kind:resource:applTask:start:end:name.
 func (t *Tracer) ExportParaver() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var sb strings.Builder
 	sb.WriteString("#Paraver (legato trace)\n")
 	for i, s := range t.spans {

@@ -11,21 +11,45 @@
 //   - middleware: management firmware (internal/middleware);
 //   - runtime: the OmpSs-style dependence-aware task runtime
 //     (internal/taskrt) with energy-aware placement;
+//   - engine: a concurrent multi-job engine (internal/engine) that runs
+//     many independent task graphs in parallel over the shared fleet,
+//     with per-device admission so placements never oversubscribe;
 //   - fault tolerance: dual-modular replication of critical tasks on
 //     diverse device classes with a voting step (internal/ft semantics);
 //   - security: tasks may run inside a measured enclave with sealed I/O
 //     (internal/secure).
 //
+// Systems are assembled with functional options and host many jobs:
+//
+//	sys, _ := legato.NewSystem(legato.WithPlatform(legato.EdgePlatform),
+//		legato.WithPolicy(legato.MinEDP))
+//	job, _ := sys.NewJob("ingest-batch")
+//	raw := job.Data("raw", 1<<20)
+//	clean := job.Data("clean", 1<<20)
+//	_ = job.Task("preprocess").Gops(120).In(raw).Out(clean).Submit()
+//	rep, err := job.Run(ctx)
+//
+// Jobs are context-aware end to end: Run honours cancellation and
+// deadlines, and System.Close drains the engine gracefully. The legacy
+// single-job surface — NewSystem(Config{...}), System.Submit, System.Run —
+// is kept as thin deprecated shims over an implicit job named "main".
+//
 // See the examples/ directory for runnable end-to-end programs and
-// DESIGN.md for the full system inventory.
+// DESIGN.md for the full system inventory and the API migration table.
 package legato
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"legato/internal/energy"
+	"legato/internal/engine"
 	"legato/internal/hw"
 	"legato/internal/middleware"
+	"legato/internal/monitor"
 	"legato/internal/secure"
 	"legato/internal/sim"
 	"legato/internal/taskrt"
@@ -55,18 +79,107 @@ const (
 	EdgePlatform
 )
 
+// devRootKey seeds enclave key derivation when the deployment does not
+// provide one; production systems must use WithRootKey.
+const devRootKey = "legato-development-root-key-0000"
+
+// settings is the resolved configuration of a System.
+type settings struct {
+	platform PlatformKind
+	policy   Policy
+	tee      secure.TEEKind
+	rootKey  []byte
+	workers  int
+}
+
+func defaultSettings() settings {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	return settings{
+		platform: CloudPlatform,
+		policy:   MinEnergy, // the project's reason to exist
+		tee:      secure.SGX,
+		rootKey:  []byte(devRootKey),
+		workers:  workers,
+	}
+}
+
+// Option configures a System under construction.
+type Option interface{ apply(*settings) }
+
+type optionFunc func(*settings)
+
+func (f optionFunc) apply(s *settings) { f(s) }
+
+// WithPlatform selects the hardware substrate.
+func WithPlatform(p PlatformKind) Option {
+	return optionFunc(func(s *settings) { s.platform = p })
+}
+
+// WithPolicy selects the placement objective (default MinEnergy).
+func WithPolicy(p Policy) Option {
+	return optionFunc(func(s *settings) { s.policy = p })
+}
+
+// WithTEE selects the trusted-execution technology backing secure tasks.
+// Unlike the legacy Config field, the value is honoured verbatim —
+// secure.SoftwareOnly is a real choice, not a sentinel for "default".
+func WithTEE(k secure.TEEKind) Option {
+	return optionFunc(func(s *settings) { s.tee = k })
+}
+
+// WithRootKey seeds enclave key derivation with a platform root key.
+func WithRootKey(key []byte) Option {
+	return optionFunc(func(s *settings) {
+		if len(key) > 0 {
+			s.rootKey = append([]byte(nil), key...)
+		}
+	})
+}
+
+// WithWorkers sets how many jobs the engine executes concurrently.
+func WithWorkers(n int) Option {
+	return optionFunc(func(s *settings) {
+		if n > 0 {
+			s.workers = n
+		}
+	})
+}
+
 // Config parametrises a System.
+//
+// Deprecated: Config is the legacy all-in-one option; it implements Option
+// so NewSystem(Config{...}) keeps compiling, with the historical quirks
+// intact (zero Policy means MinTime, TEE secure.SoftwareOnly is coerced to
+// SGX). New code should compose WithPlatform, WithPolicy, WithTEE,
+// WithRootKey and WithWorkers instead.
 type Config struct {
 	// Platform selects the hardware substrate (default CloudPlatform).
 	Platform PlatformKind
-	// Policy is the placement objective (default MinEnergy — the project's
-	// reason to exist).
+	// Policy is the placement objective.
 	Policy Policy
 	// TEE enables secure tasks with the given technology (default SGX).
 	TEE secure.TEEKind
 	// PlatformRootKey seeds enclave key derivation; a default test key is
 	// used when empty (production deployments must set it).
 	PlatformRootKey []byte
+}
+
+func (c Config) apply(s *settings) {
+	s.platform = c.Platform
+	s.policy = c.Policy
+	if c.TEE == secure.SoftwareOnly {
+		s.tee = secure.SGX // historical sentinel behaviour, preserved
+	} else {
+		s.tee = c.TEE
+	}
+	if len(c.PlatformRootKey) > 0 {
+		s.rootKey = append([]byte(nil), c.PlatformRootKey...)
+	} else {
+		s.rootKey = []byte(devRootKey)
+	}
 }
 
 // Requirements are a task's per-requirement knobs (Fig. 1: energy, fault
@@ -80,7 +193,10 @@ type Requirements struct {
 	Secure bool
 }
 
-// Task is one unit of work submitted to the system.
+// Task is one unit of work submitted to a job. Inputs must name regions
+// that were declared with Data or produced by an earlier Out/InOut;
+// referencing an undeclared input is an error. The fluent TaskBuilder
+// (Job.Task) is the handle-safe way to build the same thing.
 type Task struct {
 	Name string
 	// Gops is the computational cost.
@@ -89,7 +205,8 @@ type Task struct {
 	Cores int
 	// Targets restricts device classes (empty = any).
 	Targets []hw.Class
-	// In, Out, InOut name data dependences (created on first use).
+	// In, Out, InOut name data dependences. Out and InOut declare their
+	// regions; In requires a prior declaration.
 	In, Out, InOut []string
 	// Priority breaks scheduler ties.
 	Priority int
@@ -99,107 +216,306 @@ type Task struct {
 	Req Requirements
 }
 
-// System is one assembled LEGaTO stack.
+// System is one assembled LEGaTO stack: a long-lived multi-job engine over
+// one platform. It is safe for concurrent use.
 type System struct {
-	cfg Config
+	set settings
 
-	eng     *sim.Engine
-	devices []*hw.Device
-	box     *hw.RECSBox
-	edge    *hw.EdgeServer
-	mgr     *middleware.Manager
-	rt      *taskrt.Runtime
-	tracer  *trace.Tracer
-	enclave *secure.Enclave
+	eng    *engine.Engine
+	reg    *monitor.Registry
+	fleet  []*hw.Device
+	box    *hw.RECSBox
+	edge   *hw.EdgeServer
+	mgr    *middleware.Manager
+	tracer *trace.Tracer // session trace; completed jobs merge into it
 
-	data      map[string]*taskrt.Data
-	secureIO  int64 // bytes sealed/unsealed
-	replicas  int
-	submitted int
+	mu  sync.Mutex
+	def *Job // implicit job behind the deprecated single-job surface
 }
 
-// NewSystem assembles a stack per the configuration.
-func NewSystem(cfg Config) (*System, error) {
-	eng := sim.NewEngine()
-	s := &System{cfg: cfg, eng: eng, data: make(map[string]*taskrt.Data)}
-
-	switch cfg.Platform {
+// buildPlatform constructs a platform instance on the given clock.
+func buildPlatform(kind PlatformKind, je *sim.Engine) (*hw.RECSBox, *hw.EdgeServer, []*hw.Device, error) {
+	switch kind {
 	case EdgePlatform:
-		edge, err := hw.MirrorEdgeCPUGPUFPGA(eng, "edge0")
+		edge, err := hw.MirrorEdgeCPUGPUFPGA(je, "edge0")
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		s.edge = edge
+		var devices []*hw.Device
 		for _, m := range edge.Modules {
-			s.devices = append(s.devices, m.Device)
+			devices = append(devices, m.Device)
 		}
+		return nil, edge, devices, nil
 	default:
-		box, err := hw.StandardCloudBox(eng, "recs0")
+		box, err := hw.StandardCloudBox(je, "recs0")
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		s.box = box
-		s.mgr = middleware.NewManager(box)
+		var devices []*hw.Device
 		for _, ms := range box.Microservers() {
-			s.devices = append(s.devices, ms.Device)
+			devices = append(devices, ms.Device)
+		}
+		return box, nil, devices, nil
+	}
+}
+
+// NewSystem assembles a stack. With no options it is a cloud platform with
+// the MinEnergy policy, an SGX-backed enclave and a development root key;
+// pass functional options (or a legacy Config value) to override.
+func NewSystem(opts ...Option) (*System, error) {
+	set := defaultSettings()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&set)
 		}
 	}
-
-	s.rt = taskrt.New(eng, s.devices, cfg.Policy)
-	s.tracer = trace.New(eng)
-
-	rootKey := cfg.PlatformRootKey
-	if len(rootKey) == 0 {
-		rootKey = []byte("legato-development-root-key-0000")
+	// Validate the security configuration before spinning anything up.
+	if _, err := secure.New(set.tee, []byte("legato-system-enclave"), set.rootKey); err != nil {
+		return nil, err
 	}
-	tee := cfg.TEE
-	if tee == secure.SoftwareOnly {
-		tee = secure.SGX
-	}
-	enclave, err := secure.New(tee, []byte("legato-system-enclave"), rootKey)
+
+	s := &System{set: set, reg: monitor.NewRegistry()}
+	refClock := sim.NewEngine()
+	box, edge, fleet, err := buildPlatform(set.platform, refClock)
 	if err != nil {
 		return nil, err
 	}
-	s.enclave = enclave
+	s.box, s.edge, s.fleet = box, edge, fleet
+	if box != nil {
+		s.mgr = middleware.NewManager(box)
+	}
+	s.tracer = trace.New(refClock)
+
+	s.eng, err = engine.New(engine.Config{
+		Workers: set.workers,
+		Policy:  set.policy,
+		NewPlatform: func(je *sim.Engine) ([]*hw.Device, error) {
+			_, _, devices, err := buildPlatform(set.platform, je)
+			return devices, err
+		},
+		Fleet:    fleet,
+		Registry: s.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-// Engine exposes the virtual clock (examples and tests drive time).
-func (s *System) Engine() *sim.Engine { return s.eng }
-
-// Devices lists the platform's compute devices.
-func (s *System) Devices() []*hw.Device { return s.devices }
+// Devices lists the platform's compute devices (the reference fleet whose
+// capacity the admission ledger enforces).
+func (s *System) Devices() []*hw.Device { return s.fleet }
 
 // Manager exposes the middleware firmware (nil on the edge platform).
 func (s *System) Manager() *middleware.Manager { return s.mgr }
 
-// Tracer exposes the execution tracer.
+// Tracer exposes the session trace; every completed job's spans and
+// counters are merged into it.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
 
-// Data declares (or fetches) a named data region of the given size.
-func (s *System) Data(name string, size int64) *taskrt.Data {
-	if d, ok := s.data[name]; ok {
-		return d
-	}
-	d := s.rt.Data(name, size)
-	s.data[name] = d
-	return d
+// Monitor exposes the per-job and per-device counter registry.
+func (s *System) Monitor() *monitor.Registry { return s.reg }
+
+// Platform reports the configured hardware substrate.
+func (s *System) Platform() PlatformKind { return s.set.platform }
+
+// Policy reports the configured placement objective.
+func (s *System) Policy() Policy { return s.set.policy }
+
+// TEE reports the trusted-execution technology backing secure tasks.
+func (s *System) TEE() secure.TEEKind { return s.set.tee }
+
+// Workers reports the engine's concurrency width.
+func (s *System) Workers() int { return s.eng.Workers() }
+
+// SessionStats summarises the engine session across all jobs.
+type SessionStats struct {
+	JobsSubmitted, JobsCompleted, JobsFailed, JobsCancelled int
+	// TasksCompleted counts task executions across completed jobs.
+	TasksCompleted int
+	// EnergyJ sums dynamic task energy across completed jobs.
+	EnergyJ float64
+	// TotalJobTime is the fleet time serial submission would need (sum of
+	// job makespans).
+	TotalJobTime sim.Time
+	// SessionMakespan is the fleet time the engine needed with its
+	// concurrent lanes.
+	SessionMakespan sim.Time
+	// Speedup is TotalJobTime / SessionMakespan.
+	Speedup float64
+	// AdmissionStalls counts admission attempts that lost to a sibling
+	// job (contention signal; zero means the overlap estimate is exact).
+	AdmissionStalls uint64
 }
 
-func (s *System) deps(names []string) []*taskrt.Data {
+// Stats snapshots the engine session counters.
+func (s *System) Stats() SessionStats {
+	st := s.eng.Stats()
+	return SessionStats{
+		JobsSubmitted:   st.JobsSubmitted,
+		JobsCompleted:   st.JobsCompleted,
+		JobsFailed:      st.JobsFailed,
+		JobsCancelled:   st.JobsCancelled,
+		TasksCompleted:  st.TasksCompleted,
+		EnergyJ:         st.EnergyJ,
+		TotalJobTime:    st.TotalJobTime,
+		SessionMakespan: st.SessionMakespan,
+		Speedup:         st.Speedup(),
+		AdmissionStalls: st.AdmissionStalls,
+	}
+}
+
+// Close stops accepting jobs and drains the engine; queued jobs still run.
+// If ctx fires first, outstanding jobs are cancelled.
+func (s *System) Close(ctx context.Context) error { return s.eng.Shutdown(ctx) }
+
+// DataHandle names a declared data region of one job. The zero value is
+// invalid; handles are only usable with the job that created them.
+type DataHandle struct {
+	job *Job
+	d   *taskrt.Data
+}
+
+// Valid reports whether the handle refers to a declared region.
+func (h DataHandle) Valid() bool { return h.job != nil && h.d != nil }
+
+// Name returns the region name.
+func (h DataHandle) Name() string {
+	if h.d == nil {
+		return ""
+	}
+	return h.d.Name
+}
+
+// Size returns the declared region size in bytes.
+func (h DataHandle) Size() int64 {
+	if h.d == nil {
+		return 0
+	}
+	return h.d.Size
+}
+
+// Job is one task graph scheduled by the system's engine. Build it (Data,
+// Task, Submit), then Run it under a context; a Job runs once.
+// A Job is safe for concurrent use while building.
+type Job struct {
+	sys     *System
+	ej      *engine.Job
+	name    string
+	enclave *secure.Enclave
+	tracer  *trace.Tracer
+
+	mu        sync.Mutex
+	data      map[string]*taskrt.Data
+	replicas  int
+	submitted int
+	secureIO  int64 // bytes sealed/unsealed
+	started   bool
+
+	waitOnce sync.Once
+	report   *Report
+}
+
+// NewJob creates an empty job with a private virtual clock and platform
+// mirror, sharing the fleet with every other job through admission.
+func (s *System) NewJob(name string) (*Job, error) {
+	if name == "" {
+		return nil, fmt.Errorf("legato: job needs a name")
+	}
+	ej, err := s.eng.NewJob(name)
+	if err != nil {
+		return nil, err
+	}
+	enclave, err := secure.New(s.set.tee, []byte("legato-system-enclave"), s.set.rootKey)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		sys: s, ej: ej, name: name, enclave: enclave,
+		tracer: trace.New(ej.Clock()),
+		data:   make(map[string]*taskrt.Data),
+	}
+	ej.Runtime().AddHooks(taskrt.Hooks{
+		Finished: func(rec taskrt.Record) {
+			j.tracer.Add(trace.Span{
+				Name: rec.Name, Category: "task", Resource: rec.Device,
+				Start: rec.Start, End: rec.End,
+			})
+		},
+	})
+	return j, nil
+}
+
+// Name returns the job name.
+func (j *Job) Name() string { return j.name }
+
+// State reports the job's lifecycle phase ("building", "queued",
+// "running", "done", "failed", "cancelled").
+func (j *Job) State() string { return j.ej.State().String() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.ej.Done() }
+
+// Cancel aborts the job if it is queued or running.
+func (j *Job) Cancel() { j.ej.Cancel() }
+
+// SetTimeout gives the job a wall-clock budget measured from submission;
+// zero means none. Must be called before Start/Run.
+func (j *Job) SetTimeout(d time.Duration) { j.ej.SetTimeout(d) }
+
+// Data declares (or fetches) a named data region of the given size and
+// returns its handle. Declaring an existing region returns the original
+// handle; a zero-sized declaration can be widened once by a later sized
+// one.
+func (j *Job) Data(name string, size int64) DataHandle {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dataLocked(name, size)
+}
+
+func (j *Job) dataLocked(name string, size int64) DataHandle {
+	d, ok := j.data[name]
+	if !ok {
+		d = j.ej.Runtime().Data(name, size)
+		j.data[name] = d
+	} else if d.Size == 0 && size > 0 {
+		d.Size = size
+	}
+	return DataHandle{job: j, d: d}
+}
+
+// resolveLocked maps input names to regions, failing on any name that was
+// never declared — the silent first-use-at-size-zero behaviour of the old
+// API is gone.
+func (j *Job) resolveLocked(kind string, names []string) ([]*taskrt.Data, error) {
 	out := make([]*taskrt.Data, 0, len(names))
 	for _, n := range names {
-		out = append(out, s.Data(n, 0))
+		d, ok := j.data[n]
+		if !ok {
+			return nil, fmt.Errorf("legato: %s dependency %q was never declared: declare it with Job.Data or produce it with an Out clause first", kind, n)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// declareLocked maps output names to regions, declaring new ones — a task
+// that writes a region is its legitimate producer.
+func (j *Job) declareLocked(names []string) []*taskrt.Data {
+	out := make([]*taskrt.Data, 0, len(names))
+	for _, n := range names {
+		h := j.dataLocked(n, 0)
+		out = append(out, h.d)
 	}
 	return out
 }
 
-// diverseClasses returns two distinct device classes present on the
-// platform that can serve the task, for replica diversity.
-func (s *System) diverseClasses(t Task) []hw.Class {
+// diverseClasses returns distinct device classes present on the job's
+// platform mirror that can serve the task, for replica diversity.
+func (j *Job) diverseClasses(t Task) []hw.Class {
 	seen := map[hw.Class]bool{}
 	var classes []hw.Class
-	for _, d := range s.devices {
+	for _, d := range j.ej.Devices() {
 		c := d.Spec.Class
 		if seen[c] {
 			continue
@@ -223,13 +539,32 @@ func (s *System) diverseClasses(t Task) []hw.Class {
 	return classes
 }
 
-// Submit adds a task, expanding replication and security requirements into
-// the underlying task graph.
-func (s *System) Submit(t Task) error {
+// Submit adds a task to the job, expanding replication and security
+// requirements into the underlying task graph.
+func (j *Job) Submit(t Task) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitLocked(t)
+}
+
+func (j *Job) submitLocked(t Task) error {
 	if t.Name == "" {
 		return fmt.Errorf("legato: task needs a name")
 	}
-	s.submitted++
+	if j.started {
+		return fmt.Errorf("legato: job %q already submitted to the engine", j.name)
+	}
+	ins, err := j.resolveLocked("input", t.In)
+	if err != nil {
+		return err
+	}
+	inouts, err := j.resolveLocked("inout", t.InOut)
+	if err != nil {
+		return err
+	}
+	outs := j.declareLocked(t.Out)
+
+	j.submitted++
 	cores := t.Cores
 	if cores <= 0 {
 		cores = 1
@@ -239,17 +574,19 @@ func (s *System) Submit(t Task) error {
 		// Sealed I/O: charge the enclave for every byte crossing the task
 		// boundary, and run the body inside the enclave.
 		var ioBytes int64
-		for _, names := range [][]string{t.In, t.Out, t.InOut} {
-			for _, n := range names {
-				ioBytes += s.Data(n, 0).Size
+		for _, deps := range [][]*taskrt.Data{ins, outs, inouts} {
+			for _, d := range deps {
+				ioBytes += d.Size
 			}
 		}
 		inner := fn
 		fn = func() {
-			s.secureIO += ioBytes
-			s.enclave.RunSecure(func() {
-				if blob, err := s.enclave.Seal(make([]byte, min64(ioBytes, 1<<16))); err == nil {
-					_, _ = s.enclave.Unseal(blob)
+			j.mu.Lock()
+			j.secureIO += ioBytes
+			j.mu.Unlock()
+			j.enclave.RunSecure(func() {
+				if blob, err := j.enclave.Seal(make([]byte, min64(ioBytes, 1<<16))); err == nil {
+					_, _ = j.enclave.Unseal(blob)
 				}
 				if inner != nil {
 					inner()
@@ -258,58 +595,199 @@ func (s *System) Submit(t Task) error {
 		}
 	}
 
+	rt := j.ej.Runtime()
 	if !t.Req.Replicate {
-		return s.rt.Submit(taskrt.Task{
+		return rt.Submit(taskrt.Task{
 			Name: t.Name, Gops: t.Gops, Cores: cores, Targets: t.Targets,
-			In: s.deps(t.In), Out: s.deps(t.Out), InOut: s.deps(t.InOut),
+			In: ins, Out: outs, InOut: inouts,
 			Priority: t.Priority, Critical: false, Fn: fn,
 		})
 	}
 
 	// Dual-modular redundancy: two replicas on diverse classes write to
 	// shadow regions; a vote task publishes to the real outputs.
-	classes := s.diverseClasses(t)
+	classes := j.diverseClasses(t)
 	if len(classes) == 0 {
 		return fmt.Errorf("legato: no device can host replicated task %q", t.Name)
 	}
-	shadowA := s.Data(t.Name+"/replicaA", 64)
-	shadowB := s.Data(t.Name+"/replicaB", 64)
+	shadowA := j.dataLocked(t.Name+"/replicaA", 64).d
+	shadowB := j.dataLocked(t.Name+"/replicaB", 64).d
 	targetA := []hw.Class{classes[0]}
 	targetB := []hw.Class{classes[len(classes)-1]} // different class when available
-	ins := s.deps(t.In)
-	inouts := s.deps(t.InOut)
-	if err := s.rt.Submit(taskrt.Task{
+	if err := rt.Submit(taskrt.Task{
 		Name: t.Name + "#a", Gops: t.Gops, Cores: cores, Targets: targetA,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowA},
 		Priority: t.Priority, Critical: true, Fn: fn,
 	}); err != nil {
 		return err
 	}
-	if err := s.rt.Submit(taskrt.Task{
+	if err := rt.Submit(taskrt.Task{
 		Name: t.Name + "#b", Gops: t.Gops, Cores: cores, Targets: targetB,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowB},
 		Priority: t.Priority, Critical: true,
 	}); err != nil {
 		return err
 	}
-	s.replicas++
-	return s.rt.Submit(taskrt.Task{
+	j.replicas++
+	return rt.Submit(taskrt.Task{
 		Name: t.Name + "#vote", Gops: 0.01, Cores: 1,
 		In:  []*taskrt.Data{shadowA, shadowB},
-		Out: s.deps(t.Out), InOut: s.deps(t.InOut),
+		Out: outs, InOut: inouts,
 		Priority: t.Priority, Critical: true,
 	})
 }
 
-// Report is the outcome of a Run.
+// Start submits the job to the engine without waiting. The context governs
+// the whole job lifetime: cancel it to abort the job even mid-run.
+func (j *Job) Start(ctx context.Context) error {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return fmt.Errorf("legato: job %q already started", j.name)
+	}
+	j.started = true
+	j.mu.Unlock()
+	return j.sys.eng.Submit(ctx, j.ej)
+}
+
+// Run submits the job and blocks until it completes, is cancelled, or ctx
+// fires.
+func (j *Job) Run(ctx context.Context) (*Report, error) {
+	if err := j.Start(ctx); err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Wait blocks until the job completes (or ctx fires — which abandons the
+// wait, not the job) and returns its report.
+func (j *Job) Wait(ctx context.Context) (*Report, error) {
+	res, err := j.ej.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	j.waitOnce.Do(func() { j.buildReport(res) })
+	return j.report, nil
+}
+
+// buildReport assembles the job report and merges the job's trace and
+// security accounting into the session.
+func (j *Job) buildReport(res *taskrt.Result) {
+	j.mu.Lock()
+	replicas := j.replicas
+	j.mu.Unlock()
+	rep := &Report{
+		Makespan:        res.Makespan,
+		Records:         res.Records,
+		TaskEnergyJ:     res.EnergyJ,
+		SecurityEnergyJ: j.enclave.EnergyNJ * 1e-9,
+		ReplicatedTasks: replicas,
+		Energy:          energy.NewReport(),
+	}
+	for _, d := range j.ej.Devices() {
+		rep.Energy.Add(d.ID, d.Meter().Energy())
+		rep.PlatformEnergyJ += d.Meter().Energy()
+	}
+	j.report = rep
+	j.tracer.Count("jobs", 1)
+	j.sys.tracer.Merge(j.tracer)
+}
+
+// TaskBuilder accumulates one task fluently; Submit finalises it. Builder
+// errors (foreign handles) surface at Submit.
+type TaskBuilder struct {
+	job  *Job
+	t    Task
+	deps struct{ in, out, inout []string }
+	err  error
+}
+
+// Task starts a fluent task declaration on the job.
+func (j *Job) Task(name string) *TaskBuilder {
+	b := &TaskBuilder{job: j}
+	b.t.Name = name
+	return b
+}
+
+// Gops sets the computational cost.
+func (b *TaskBuilder) Gops(g float64) *TaskBuilder { b.t.Gops = g; return b }
+
+// Cores sets the requested width.
+func (b *TaskBuilder) Cores(n int) *TaskBuilder { b.t.Cores = n; return b }
+
+// On restricts placement to the given device classes.
+func (b *TaskBuilder) On(classes ...hw.Class) *TaskBuilder {
+	b.t.Targets = append(b.t.Targets, classes...)
+	return b
+}
+
+// Priority breaks scheduler ties (higher first).
+func (b *TaskBuilder) Priority(p int) *TaskBuilder { b.t.Priority = p; return b }
+
+// Do attaches a completion callback.
+func (b *TaskBuilder) Do(fn func()) *TaskBuilder { b.t.Fn = fn; return b }
+
+func (b *TaskBuilder) handles(kind string, hs []DataHandle) []string {
+	names := make([]string, 0, len(hs))
+	for _, h := range hs {
+		if !h.Valid() {
+			b.err = fmt.Errorf("legato: task %q: invalid %s handle", b.t.Name, kind)
+			continue
+		}
+		if h.job != b.job {
+			b.err = fmt.Errorf("legato: task %q: %s handle %q belongs to job %q",
+				b.t.Name, kind, h.Name(), h.job.name)
+			continue
+		}
+		names = append(names, h.Name())
+	}
+	return names
+}
+
+// In declares read dependences.
+func (b *TaskBuilder) In(hs ...DataHandle) *TaskBuilder {
+	b.deps.in = append(b.deps.in, b.handles("input", hs)...)
+	return b
+}
+
+// Out declares write dependences.
+func (b *TaskBuilder) Out(hs ...DataHandle) *TaskBuilder {
+	b.deps.out = append(b.deps.out, b.handles("output", hs)...)
+	return b
+}
+
+// InOut declares read-write dependences.
+func (b *TaskBuilder) InOut(hs ...DataHandle) *TaskBuilder {
+	b.deps.inout = append(b.deps.inout, b.handles("inout", hs)...)
+	return b
+}
+
+// Secure runs the task inside the system enclave with sealed I/O.
+func (b *TaskBuilder) Secure() *TaskBuilder { b.t.Req.Secure = true; return b }
+
+// Replicated requests dual-modular redundancy with a vote.
+func (b *TaskBuilder) Replicated() *TaskBuilder { b.t.Req.Replicate = true; return b }
+
+// Submit finalises the task into the job's graph.
+func (b *TaskBuilder) Submit() error {
+	if b.err != nil {
+		return b.err
+	}
+	t := b.t
+	t.In, t.Out, t.InOut = b.deps.in, b.deps.out, b.deps.inout
+	return b.job.Submit(t)
+}
+
+// Report is the outcome of a job run.
 type Report struct {
 	Makespan sim.Time
 	Records  []taskrt.Record
 	// TaskEnergyJ is the dynamic energy of all task executions.
 	TaskEnergyJ float64
-	// PlatformEnergyJ integrates every device meter (idle + dynamic).
+	// PlatformEnergyJ integrates every device meter (idle + dynamic) of
+	// the job's platform view.
 	PlatformEnergyJ float64
-	// SecurityEnergyJ is the enclave's accumulated cost.
+	// SecurityEnergyJ is the job enclave's accumulated cost.
 	SecurityEnergyJ float64
 	// ReplicatedTasks counts DMR-expanded submissions.
 	ReplicatedTasks int
@@ -317,25 +795,61 @@ type Report struct {
 	Energy *energy.Report
 }
 
-// Run executes the submitted graph and returns the report.
-func (s *System) Run() (*Report, error) {
-	res, err := s.rt.Run()
+// defaultJob returns the implicit job behind the deprecated single-job
+// surface, creating it on first use.
+func (s *System) defaultJob() (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.def == nil {
+		j, err := s.NewJob("main")
+		if err != nil {
+			return nil, err
+		}
+		s.def = j
+	}
+	return s.def, nil
+}
+
+// Data declares (or fetches) a named data region on the implicit job.
+//
+// Deprecated: create a Job with NewJob and use Job.Data.
+func (s *System) Data(name string, size int64) DataHandle {
+	j, err := s.defaultJob()
+	if err != nil {
+		return DataHandle{}
+	}
+	return j.Data(name, size)
+}
+
+// Submit adds a task to the implicit job.
+//
+// Deprecated: create a Job with NewJob and use Job.Submit or Job.Task.
+func (s *System) Submit(t Task) error {
+	j, err := s.defaultJob()
+	if err != nil {
+		return err
+	}
+	return j.Submit(t)
+}
+
+// Run executes the implicit job and returns its report.
+//
+// Deprecated: create a Job with NewJob and use Job.Run with a context.
+func (s *System) Run() (*Report, error) { return s.RunContext(context.Background()) }
+
+// RunContext executes the implicit job under ctx and returns its report.
+// Afterwards the single-job surface starts a fresh implicit job.
+//
+// Deprecated: create a Job with NewJob and use Job.Run.
+func (s *System) RunContext(ctx context.Context) (*Report, error) {
+	j, err := s.defaultJob()
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		Makespan:        res.Makespan,
-		Records:         res.Records,
-		TaskEnergyJ:     res.EnergyJ,
-		SecurityEnergyJ: s.enclave.EnergyNJ * 1e-9,
-		ReplicatedTasks: s.replicas,
-		Energy:          energy.NewReport(),
-	}
-	for _, d := range s.devices {
-		rep.Energy.Add(d.ID, d.Meter().Energy())
-		rep.PlatformEnergyJ += d.Meter().Energy()
-	}
-	return rep, nil
+	s.mu.Lock()
+	s.def = nil
+	s.mu.Unlock()
+	return j.Run(ctx)
 }
 
 func max(a, b int) int {
