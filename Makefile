@@ -3,12 +3,17 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-short run-bench clean
+.PHONY: ci vet lint build test race bench bench-short run-bench clean
 
-ci: vet build race bench-short
+ci: vet lint build race bench-short
 
 vet:
 	$(GO) vet ./...
+
+# errcheck-style pass over the resilience paths: an ignored error return
+# in faults/engine/taskrt fails the build (see cmd/legato-lint).
+lint:
+	$(GO) run ./cmd/legato-lint
 
 build:
 	$(GO) build ./...
@@ -20,7 +25,8 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark — smoke-checks the experiment
-# harness and the E11 >= 2x throughput gate without a full run.
+# harness plus the E11 >= 2x throughput and E12 <= 1.5x inflation gates
+# without a full run.
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 

@@ -189,6 +189,36 @@ func BenchmarkMultiJobThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkResilientThroughput regenerates E12: the 8-job session under an
+// MTBF-driven single-device loss with async L1 checkpoints, versus the
+// fault-free baseline. Acceptance gates: every job completes, makespan
+// inflation ≤ 1.5×, zero admission oversubscription, and nonzero
+// retry/restore counters.
+func BenchmarkResilientThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Resilient(8, 8, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.InflationX, "inflation-x")
+		b.ReportMetric(float64(res.Retries+res.Restores), "recoveries")
+		b.ReportMetric(float64(res.Checkpoints), "checkpoints")
+		if res.JobsCompleted != res.Jobs {
+			b.Fatalf("only %d/%d jobs completed under device loss", res.JobsCompleted, res.Jobs)
+		}
+		if res.InflationX > 1.5 {
+			b.Fatalf("makespan inflation %.2fx under single-device loss, want <= 1.5x", res.InflationX)
+		}
+		if res.PeakViolations != 0 {
+			b.Fatalf("%d devices oversubscribed after the loss", res.PeakViolations)
+		}
+		if res.Crashes < 1 || res.Retries+res.Restores == 0 {
+			b.Fatalf("no recovery exercised: crashes=%d retries=%d restores=%d",
+				res.Crashes, res.Retries, res.Restores)
+		}
+	}
+}
+
 // BenchmarkSecureOverhead measures the enclave cost profile (software vs
 // SGX) over a sealing-heavy workload (the 10× goal of Sec. VII).
 func BenchmarkSecureOverhead(b *testing.B) {

@@ -112,6 +112,17 @@ func main() {
 	}
 	fmt.Print(experiments.MultiJobTable(mj))
 
+	section("E12: resilient session under MTBF-driven device loss")
+	rsJobs, rsWorkers := 8, 8
+	if *quick {
+		rsJobs, rsWorkers = 4, 4
+	}
+	rs, err := experiments.Resilient(rsJobs, rsWorkers, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.ResilientTable(rs))
+
 	section("Ablation: SECDED ECC mitigation for sub-guardband operation")
 	eccRows, err := experiments.ECCMitigation(64<<10, 4)
 	if err != nil {

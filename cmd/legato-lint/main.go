@@ -1,0 +1,173 @@
+// legato-lint is a zero-dependency, errcheck-style linter for the
+// resilience-critical packages: it flags bare expression-statement calls
+// whose callee is defined in the scanned package and returns an error as
+// its last result. On those paths a dropped error is a dropped fault — a
+// crash, a failed checkpoint, or an admission bug silently swallowed — so
+// the build fails on any finding.
+//
+// Usage:
+//
+//	legato-lint [package-dir ...]
+//
+// With no arguments it scans the resilience paths (internal/faults,
+// internal/engine, internal/taskrt). Test files are skipped; an ignored
+// error in a test is an assertion choice, not a recovery bug.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var defaultDirs = []string{"internal/faults", "internal/engine", "internal/taskrt"}
+
+// finding is one ignored error-returning call.
+type finding struct {
+	pos  token.Position
+	call string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "legato-lint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: error result of %s ignored\n", f.pos, f.call)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "legato-lint: %d ignored error(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test file of one package directory and returns
+// the ignored-error findings.
+func lintDir(dir string) ([]finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Pass 1: names of package-local functions and methods whose last
+	// result is `error`. Without full type-checking this is a name-based
+	// set; plain function calls resolve precisely, and method selectors
+	// are matched by name *and* arity so foreign same-named methods with a
+	// different signature (sync.WaitGroup.Wait vs Job.Wait) don't trip it.
+	funcs := map[string]bool{}
+	methods := map[string][]arity{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !returnsErrorLast(fd.Type) {
+				continue
+			}
+			if fd.Recv != nil {
+				methods[fd.Name.Name] = append(methods[fd.Name.Name], arityOf(fd.Type))
+			} else {
+				funcs[fd.Name.Name] = true
+			}
+		}
+	}
+
+	// Pass 2: bare ExprStmt calls resolving into that set.
+	var findings []finding
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				if funcs[fn.Name] {
+					findings = append(findings, finding{fset.Position(call.Pos()), fn.Name})
+				}
+			case *ast.SelectorExpr:
+				for _, a := range methods[fn.Sel.Name] {
+					if a.accepts(len(call.Args)) {
+						findings = append(findings, finding{fset.Position(call.Pos()), fn.Sel.Name})
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// arity is a callable's parameter count signature.
+type arity struct {
+	params   int
+	variadic bool
+}
+
+// accepts reports whether a call with n arguments could bind this arity.
+func (a arity) accepts(n int) bool {
+	if a.variadic {
+		return n >= a.params-1
+	}
+	return n == a.params
+}
+
+// arityOf extracts the parameter arity from a function type.
+func arityOf(ft *ast.FuncType) arity {
+	var a arity
+	if ft.Params == nil {
+		return a
+	}
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		a.params += n
+		if _, ok := field.Type.(*ast.Ellipsis); ok {
+			a.variadic = true
+		}
+	}
+	return a
+}
+
+// returnsErrorLast reports whether the function type's last result is the
+// identifier `error`.
+func returnsErrorLast(ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -86,8 +87,9 @@ func main() {
 		fmt.Printf("%-12s done: %2d tasks, makespan %.3f s, energy %.2f J\n",
 			job.Name(), len(rep.Records), sim.ToSeconds(rep.Makespan), rep.TaskEnergyJ)
 	}
-	if _, err := doomed.Wait(ctx); err != context.DeadlineExceeded {
-		log.Fatalf("doomed job: err = %v, want deadline exceeded", err)
+	if _, err := doomed.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) ||
+		!errors.Is(err, legato.ErrJobCancelled) {
+		log.Fatalf("doomed job: err = %v, want deadline exceeded + ErrJobCancelled", err)
 	}
 	fmt.Printf("%-12s %s (deadline enforced)\n\n", doomed.Name(), doomed.State())
 

@@ -34,10 +34,21 @@ import (
 	"sync"
 	"time"
 
+	"legato/internal/faults"
 	"legato/internal/hw"
 	"legato/internal/monitor"
 	"legato/internal/sim"
 	"legato/internal/taskrt"
+)
+
+// Typed submission errors, matchable with errors.Is.
+var (
+	// ErrShutdown is returned by Submit after Shutdown began.
+	ErrShutdown = errors.New("engine: shut down")
+	// ErrQueueFull is returned by Submit when the queue is at capacity.
+	ErrQueueFull = errors.New("engine: queue full")
+	// ErrAlreadySubmitted is returned by Submit for a non-Building job.
+	ErrAlreadySubmitted = errors.New("engine: job already submitted")
 )
 
 // Config parametrises an Engine.
@@ -56,6 +67,17 @@ type Config struct {
 	Fleet []*hw.Device
 	// Registry receives per-job and per-device counters (optional).
 	Registry *monitor.Registry
+	// Faults, when non-nil and enabled, drives an MTBF-based failure
+	// process over the session: the sampled timeline is replayed on every
+	// job's private clock, and the injector applies each global fault
+	// (fleet capacity loss) exactly once.
+	Faults *faults.Plan
+	// RetryBudget is the default per-task failure attempt budget under
+	// fault injection (default 3); Task.Retry overrides per task.
+	RetryBudget int
+	// RetryBackoff is the base re-placement backoff, doubled on every
+	// consecutive failure (default 1ms of virtual time).
+	RetryBackoff sim.Time
 }
 
 // State is a job's lifecycle phase.
@@ -157,11 +179,24 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Wait blocks until the job completes or ctx fires, and returns the job's
 // result. A ctx abort leaves the job running; use Cancel to stop it.
+// Completion wins over a simultaneously-fired ctx, so a result that exists
+// is always returned — the caller never observes a ctx error for a job
+// that already reached a terminal state.
 func (j *Job) Wait(ctx context.Context) (*taskrt.Result, error) {
 	select {
 	case <-j.done:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	default:
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			// Re-check: if the job completed while we were racing with the
+			// context, prefer the terminal state.
+			select {
+			case <-j.done:
+			default:
+				return nil, ctx.Err()
+			}
+		}
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -210,6 +245,16 @@ type Stats struct {
 	SessionMakespan sim.Time
 	// AdmissionStalls counts failed admission attempts (contention).
 	AdmissionStalls uint64
+	// TasksRetried counts task executions re-queued after a crash or a
+	// detected corruption, across all jobs.
+	TasksRetried int
+	// TasksRestored counts completed tasks re-executed because a device
+	// loss invalidated their un-checkpointed outputs.
+	TasksRestored int
+	// Checkpoints counts committed asynchronous job checkpoints.
+	Checkpoints int
+	// DevicesLost counts devices crashed by the failure process.
+	DevicesLost int
 }
 
 // Speedup is the throughput gain of the session over serial submission.
@@ -222,10 +267,11 @@ func (s Stats) Speedup() float64 {
 
 // Engine is the long-lived multi-job engine.
 type Engine struct {
-	cfg   Config
-	fleet *Fleet
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg      Config
+	fleet    *Fleet
+	injector *faults.Injector // nil without a fault plan
+	queue    chan *Job
+	wg       sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   []*Job
@@ -255,11 +301,20 @@ func New(cfg Config) (*Engine, error) {
 		}
 		ref = devs
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
 	e := &Engine{
 		cfg:   cfg,
 		fleet: NewFleet(ref),
 		queue: make(chan *Job, cfg.QueueDepth),
 		lanes: make([]sim.Time, cfg.Workers),
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		e.injector = faults.NewInjector(*cfg.Faults, e.fleet, ref, cfg.Registry)
 	}
 	e.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -312,10 +367,70 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 				reg.Add(dev, "energy-J", float64(rec.EnergyJ))
 				reg.Add(dev, "busy-s", sim.ToSeconds(rec.End-rec.Start))
 			},
+			Retried: func(_ string, _ int, reason string, _ sim.Time) {
+				reg.Add(scope, "task-retries", 1)
+				reg.Add("faults", "task-retries", 1)
+				reg.Add("faults", "retry-"+reason, 1)
+			},
+			DeviceLost: func(deviceID string, revoked, restored int, _ sim.Time) {
+				reg.Add(scope, "device-lost", 1)
+				reg.Add(scope, "tasks-revoked", float64(revoked))
+				reg.Add(scope, "tasks-restored", float64(restored))
+				reg.Add("device/"+deviceID, "lost", 1)
+				reg.Add("faults", "tasks-revoked", float64(revoked))
+				reg.Add("faults", "tasks-restored", float64(restored))
+			},
+			Checkpointed: func(_ int, bytes int64, _, _ sim.Time) {
+				reg.Add(scope, "checkpoints", 1)
+				reg.Add(scope, "checkpoint-bytes", float64(bytes))
+				reg.Add("faults", "checkpoints", 1)
+			},
 		})
 	}
+	e.wireFaults(j)
 	return j, nil
 }
+
+// wireFaults replays the injector's sampled timeline on the job's private
+// clock. Each event fails (or degrades) the job's own platform mirror so
+// local placement routes around the device, and calls into the injector,
+// which applies the *global* fleet change exactly once across all jobs.
+// A job created after a device already crashed starts with that mirror
+// device failed — the graceful-degradation path: the session keeps
+// admitting jobs that fit the surviving fleet.
+func (e *Engine) wireFaults(j *Job) {
+	if e.injector == nil {
+		return
+	}
+	j.rt.SetRetryPolicy(e.cfg.RetryBudget, e.cfg.RetryBackoff)
+	if sampler := e.injector.Sampler(int64(j.ID)); sampler != nil {
+		j.rt.SetCorruptor(func(rec taskrt.Record) bool { return sampler(rec.Class) })
+	}
+	for _, ev := range e.injector.Events() {
+		ev := ev
+		switch ev.Kind {
+		case faults.Crash:
+			if e.injector.Lost(ev.Device) {
+				for _, d := range j.devices {
+					if d.ID == ev.Device {
+						d.Fail()
+					}
+				}
+				continue
+			}
+			rt := j.rt
+			j.rt.ScheduleFault(ev.At, func() {
+				e.injector.Crash(ev.Device)
+				rt.FailDevice(ev.Device)
+			})
+		case faults.Degrade:
+			j.rt.ScheduleFault(ev.At, func() { e.injector.Degrade(ev) })
+		}
+	}
+}
+
+// Faults exposes the fault injector (nil without a plan).
+func (e *Engine) Faults() *faults.Injector { return e.injector }
 
 // Submit queues a job for execution under ctx; the job additionally
 // honours any per-job timeout set with SetTimeout.
@@ -326,7 +441,7 @@ func (e *Engine) Submit(ctx context.Context, j *Job) error {
 	j.mu.Lock()
 	if j.state != Building {
 		j.mu.Unlock()
-		return fmt.Errorf("engine: job %q already submitted (%s)", j.Name, j.state)
+		return fmt.Errorf("engine: job %q in state %s: %w", j.Name, j.state, ErrAlreadySubmitted)
 	}
 	if j.timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(ctx, j.timeout)
@@ -339,8 +454,8 @@ func (e *Engine) Submit(ctx context.Context, j *Job) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		j.finish(nil, fmt.Errorf("engine: shut down"))
-		return fmt.Errorf("engine: shut down")
+		j.finish(nil, ErrShutdown)
+		return ErrShutdown
 	}
 	e.stats.JobsSubmitted++
 	select {
@@ -350,8 +465,8 @@ func (e *Engine) Submit(ctx context.Context, j *Job) error {
 	default:
 		e.stats.JobsSubmitted--
 		e.mu.Unlock()
-		j.finish(nil, fmt.Errorf("engine: queue full"))
-		return fmt.Errorf("engine: queue full (%d jobs)", e.cfg.QueueDepth)
+		j.finish(nil, ErrQueueFull)
+		return fmt.Errorf("engine: queue holds %d jobs: %w", e.cfg.QueueDepth, ErrQueueFull)
 	}
 }
 
@@ -394,6 +509,9 @@ func (e *Engine) account(j *Job, res *taskrt.Result, err error) {
 		e.stats.TotalJobTime += res.Makespan
 		e.stats.TasksCompleted += len(res.Records)
 		e.stats.EnergyJ += float64(res.EnergyJ)
+		e.stats.TasksRetried += res.Retries
+		e.stats.TasksRestored += res.Restores
+		e.stats.Checkpoints += res.Checkpoints
 	}
 	switch {
 	case err == nil:
@@ -430,6 +548,9 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	s.AdmissionStalls = e.fleet.Stalls()
+	if e.injector != nil {
+		s.DevicesLost = e.injector.Crashes()
+	}
 	return s
 }
 

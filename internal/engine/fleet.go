@@ -20,9 +20,10 @@ type Fleet struct {
 	mu     sync.Mutex
 	cap    map[string]int
 	free   map[string]int
-	peak   map[string]int // high-water mark of in-use cores, per device
-	gen    chan struct{}  // closed and replaced on every Release
-	stalls uint64         // failed admission attempts (contention signal)
+	peak   map[string]int  // high-water mark of in-use cores, per device
+	lost   map[string]bool // devices failed mid-session
+	gen    chan struct{}   // closed and replaced on every Release
+	stalls uint64          // failed admission attempts (contention signal)
 }
 
 // NewFleet builds a ledger from the reference devices; capacity is each
@@ -32,6 +33,7 @@ func NewFleet(devices []*hw.Device) *Fleet {
 		cap:  make(map[string]int, len(devices)),
 		free: make(map[string]int, len(devices)),
 		peak: make(map[string]int, len(devices)),
+		lost: make(map[string]bool),
 		gen:  make(chan struct{}),
 	}
 	for _, d := range devices {
@@ -76,6 +78,69 @@ func (f *Fleet) Changed() <-chan struct{} {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.gen
+}
+
+// SetCapacity rescales a device's capacity mid-session (a degrade event —
+// e.g. thermal throttling or partial failure). Grants already out may
+// exceed the new capacity; the free count then goes negative (a deficit)
+// and subsequent Releases pay it down before new admissions succeed. The
+// peak high-water mark is clamped to the new capacity, so the invariant
+// Peak(id) ≤ Capacity(id) reads against the *current* capacity. Every
+// parked job is woken so it can re-evaluate placement. Unknown devices are
+// ignored.
+func (f *Fleet) SetCapacity(deviceID string, cores int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old, ok := f.cap[deviceID]
+	if !ok {
+		return
+	}
+	if cores < 0 {
+		cores = 0
+	}
+	used := old - f.free[deviceID]
+	f.cap[deviceID] = cores
+	f.free[deviceID] = cores - used
+	if f.peak[deviceID] > cores {
+		f.peak[deviceID] = cores
+	}
+	close(f.gen)
+	f.gen = make(chan struct{})
+}
+
+// Fail removes a device from the fleet entirely: capacity drops to zero
+// (outstanding grants become a deficit that revocations pay back) and the
+// device is marked lost. Jobs parked on admission are woken so the loss is
+// never missed, and new jobs that still fit the surviving fleet keep being
+// admitted — graceful degradation, not session abort.
+func (f *Fleet) Fail(deviceID string) {
+	f.mu.Lock()
+	alreadyLost := f.lost[deviceID]
+	f.lost[deviceID] = true
+	f.mu.Unlock()
+	if alreadyLost {
+		return
+	}
+	f.SetCapacity(deviceID, 0)
+}
+
+// Lost reports whether a device was failed mid-session.
+func (f *Fleet) Lost(deviceID string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lost[deviceID]
+}
+
+// Devices returns the IDs of every device the ledger tracks, including
+// lost ones.
+func (f *Fleet) Devices() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.cap))
+	for id := range f.cap {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // Capacity returns a device's total cores (zero if unknown).

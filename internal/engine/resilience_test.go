@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"legato/internal/faults"
+	"legato/internal/ft"
+	"legato/internal/hw"
+	"legato/internal/monitor"
+	"legato/internal/sim"
+	"legato/internal/taskrt"
+)
+
+// A mid-session capacity shrink may leave more cores granted than the new
+// capacity allows. The ledger carries the deficit: admissions fail until
+// releases pay it down, no Release ever panics, and the oversubscription
+// witness Peak(id) ≤ Capacity(id) holds against the *current* capacity.
+func TestFleetCapacityShrinkDeficit(t *testing.T) {
+	se := sim.NewEngine()
+	devs, _ := testPlatform(se)
+	f := NewFleet(devs)
+
+	if !f.TryAcquire("dev/cpu", 6) {
+		t.Fatal("initial acquire refused")
+	}
+	f.SetCapacity("dev/cpu", 4) // 6 granted on a 4-core budget: deficit of 2
+	if f.Peak("dev/cpu") > f.Capacity("dev/cpu") {
+		t.Fatalf("peak %d exceeds shrunk capacity %d", f.Peak("dev/cpu"), f.Capacity("dev/cpu"))
+	}
+	if f.TryAcquire("dev/cpu", 1) {
+		t.Fatal("admission succeeded while the device is in deficit")
+	}
+	f.Release("dev/cpu", 3) // pays the deficit down to 1 free... of 4
+	if f.TryAcquire("dev/cpu", 2) {
+		t.Fatal("admission exceeded post-shrink capacity")
+	}
+	if !f.TryAcquire("dev/cpu", 1) {
+		t.Fatal("admission refused despite free post-shrink capacity")
+	}
+	f.Release("dev/cpu", 4) // returns the remaining grants: 3 old + 1 new
+	if f.InUse("dev/cpu") != 0 {
+		t.Fatalf("in-use %d after all releases, want 0", f.InUse("dev/cpu"))
+	}
+	if f.Peak("dev/cpu") > f.Capacity("dev/cpu") {
+		t.Fatalf("final peak %d > capacity %d", f.Peak("dev/cpu"), f.Capacity("dev/cpu"))
+	}
+}
+
+// Fail and SetCapacity must wake admission waiters just like Release does —
+// a parked job that missed the wakeup would deadlock the session.
+func TestFleetFailSignalsWaiters(t *testing.T) {
+	se := sim.NewEngine()
+	devs, _ := testPlatform(se)
+	f := NewFleet(devs)
+
+	ch := f.Changed()
+	f.Fail("dev/fpga")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Fail did not signal Changed")
+	}
+	if !f.Lost("dev/fpga") || f.Capacity("dev/fpga") != 0 {
+		t.Fatalf("lost=%v cap=%d after Fail", f.Lost("dev/fpga"), f.Capacity("dev/fpga"))
+	}
+	ch = f.Changed()
+	f.SetCapacity("dev/cpu", 4)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("SetCapacity did not signal Changed")
+	}
+	// Fail is idempotent: a second call must not re-shrink or signal twice.
+	ch = f.Changed()
+	f.Fail("dev/fpga")
+	select {
+	case <-ch:
+		t.Fatal("repeated Fail signalled again")
+	default:
+	}
+}
+
+// Two FPGA-only jobs contend for the single 4-region FPGA; while one holds
+// it the other parks on admission. Failing the FPGA mid-session must wake
+// the parked job — which then has no compatible device left and fails with
+// ErrDeviceLost instead of hanging the session. Run with -race: this is the
+// lost-wakeup regression test.
+func TestParkedJobWakesOnDeviceLoss(t *testing.T) {
+	e := newTestEngine(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	fpgaJob := func(name string) *Job {
+		j, err := e.NewJob(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := j.Runtime()
+		rt.SetRetryPolicy(3, time.Millisecond)
+		if err := rt.Submit(taskrt.Task{
+			Name: name + "/t0", Gops: 1000, Cores: 4,
+			Targets: []hw.Class{hw.FPGA},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// The fault rides the job's own virtual clock (runtimes are
+		// goroutine-confined): whichever job wins the FPGA advances to 1ms
+		// mid-task and pulls the device out fleet-wide; the loser is parked
+		// at virtual 0 with its clock frozen, so only the Changed() wakeup
+		// can unblock it.
+		rt.ScheduleFault(time.Millisecond, func() {
+			e.Fleet().Fail("dev/fpga")
+			rt.FailDevice("dev/fpga")
+		})
+		return j
+	}
+	a, b := fpgaJob("holder"), fpgaJob("parked")
+	if err := e.Submit(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, j := range []*Job{a, b} {
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			_, errs[i] = j.Wait(ctx)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, taskrt.ErrDeviceLost) {
+			t.Fatalf("job %d: err = %v, want ErrDeviceLost", i, err)
+		}
+	}
+	if ctx.Err() != nil {
+		t.Fatal("session timed out: parked job never woke on device loss")
+	}
+}
+
+// End-to-end Config.Faults wiring: a plan whose single crash lands at the
+// session start removes the FPGA fleet-wide; every job re-places on the CPU,
+// completes, and the loss shows up in Stats and the registry.
+func TestEngineFaultPlanEndToEnd(t *testing.T) {
+	reg := monitor.NewRegistry()
+	// MTBF of one microsecond: the sampled crash lands at the very start of
+	// the session, before any placement settles.
+	plan := faults.Plan{MTBF: ft.MTBFModel{hw.FPGA: 1e-6}, MaxCrashes: 1, Seed: 1}
+	e, err := New(Config{Workers: 4, Policy: taskrt.MinTime, NewPlatform: testPlatform,
+		Registry: reg, Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Shutdown(context.Background()) }()
+	if evs := e.Faults().Events(); len(evs) != 1 || evs[0].Device != "dev/fpga" {
+		t.Fatalf("sampled events = %+v, want one dev/fpga crash", evs)
+	}
+
+	ctx := context.Background()
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j := chainJob(t, e, fmt.Sprintf("job%d", i), 4, 2, nil)
+		jobs = append(jobs, j)
+		if err := e.Submit(ctx, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("job %s did not survive the device loss: %v", j.Name, err)
+		}
+	}
+	st := e.Stats()
+	if st.JobsCompleted != 4 {
+		t.Fatalf("jobs completed = %d, want 4", st.JobsCompleted)
+	}
+	if st.DevicesLost != 1 {
+		t.Fatalf("devices lost = %d, want 1", st.DevicesLost)
+	}
+	if !e.Fleet().Lost("dev/fpga") {
+		t.Fatal("fleet does not record the FPGA loss")
+	}
+	if e.Fleet().Peak("dev/cpu") > e.Fleet().Capacity("dev/cpu") {
+		t.Fatal("CPU oversubscribed while absorbing the FPGA's work")
+	}
+	if reg.Snapshot("faults")["device-crashes"] != 1 {
+		t.Fatalf("registry faults scope: %+v", reg.Snapshot("faults"))
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResilientE12 runs the full E12 study and enforces the acceptance
+// gate: the 8-job session survives an MTBF-driven single-device loss with
+// every job completing, ≤ 1.5× makespan inflation over the fault-free
+// baseline, zero admission oversubscription, and nonzero recovery
+// counters in the monitor registry.
+func TestResilientE12(t *testing.T) {
+	res, err := Resilient(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != res.Jobs {
+		t.Fatalf("only %d/%d jobs completed", res.JobsCompleted, res.Jobs)
+	}
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want exactly 1", res.Crashes)
+	}
+	if res.InflationX > 1.5 {
+		t.Fatalf("inflation %.2fx, want <= 1.5x", res.InflationX)
+	}
+	if res.InflationX < 1.0 {
+		t.Fatalf("inflation %.2fx below baseline — fault run suspiciously fast", res.InflationX)
+	}
+	if res.PeakViolations != 0 {
+		t.Fatalf("%d oversubscribed devices", res.PeakViolations)
+	}
+	if res.Retries+res.Restores == 0 {
+		t.Fatalf("no recovery work: %+v", res)
+	}
+	if res.Checkpoints == 0 {
+		t.Fatalf("no checkpoints committed")
+	}
+
+	// The registry must carry the recovery counters ("faults" scope).
+	snap := res.Registry.Snapshot("faults")
+	if snap["device-crashes"] < 1 {
+		t.Fatalf("registry faults scope missing device-crashes: %+v", snap)
+	}
+	if snap["task-retries"]+snap["tasks-restored"] <= 0 {
+		t.Fatalf("registry faults scope has zero retry/restore counters: %+v", snap)
+	}
+
+	table := ResilientTable(res)
+	for _, want := range []string{"E12", "fault-free", "one device lost", "jobs completed 8/8"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestResilientDeterministic: same seed, same study outcome — the virtual
+// clock and the deterministic failure sampling make E12 reproducible.
+func TestResilientDeterministic(t *testing.T) {
+	a, err := Resilient(4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resilient(4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed != b.Seed || a.LostDevice != b.LostDevice || a.CrashAt != b.CrashAt ||
+		a.FaultMakespan != b.FaultMakespan || a.Retries != b.Retries || a.Restores != b.Restores {
+		t.Fatalf("E12 not deterministic:\n%+v\n%+v", a, b)
+	}
+}

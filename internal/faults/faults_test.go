@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"testing"
+
+	"legato/internal/ft"
+	"legato/internal/hw"
+	"legato/internal/monitor"
+	"legato/internal/sim"
+)
+
+func refFleet(t *testing.T) []*hw.Device {
+	t.Helper()
+	eng := sim.NewEngine()
+	return []*hw.Device{
+		hw.NewDevice(eng, "cpu0", hw.XeonD()),
+		hw.NewDevice(eng, "cpu1", hw.XeonD()),
+		hw.NewDevice(eng, "fpga0", hw.VirtexFPGA()),
+		hw.NewDevice(eng, "fpga1", hw.KintexFPGA()),
+	}
+}
+
+// The sampled timeline is a pure function of (plan, device set): same seed,
+// same events; a different seed moves them.
+func TestScheduleDeterministic(t *testing.T) {
+	devs := refFleet(t)
+	plan := Plan{MTBF: ft.MTBFModel{hw.CPUx86: 100, hw.FPGA: 50}, MaxCrashes: 4, Seed: 42}
+	a := plan.Schedule(devs)
+	b := plan.Schedule(devs)
+	if len(a) == 0 {
+		t.Fatal("plan with MTBF for present classes sampled no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same plan, different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	plan.Seed = 43
+	c := plan.Schedule(devs)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("changing the seed left the timeline unchanged")
+	}
+}
+
+// MaxCrashes truncates to the earliest crashes; the default bound is one.
+func TestMaxCrashesBound(t *testing.T) {
+	devs := refFleet(t)
+	plan := Plan{MTBF: ft.MTBFModel{hw.CPUx86: 100, hw.FPGA: 100}, Seed: 9}
+	events := plan.Schedule(devs)
+	crashes := 0
+	for _, ev := range events {
+		if ev.Kind == Crash {
+			crashes++
+		}
+	}
+	if crashes != 1 {
+		t.Fatalf("default plan sampled %d crashes, want 1", crashes)
+	}
+
+	plan.MaxCrashes = 2
+	events = plan.Schedule(devs)
+	var kept []Event
+	for _, ev := range events {
+		if ev.Kind == Crash {
+			kept = append(kept, ev)
+		}
+	}
+	if len(kept) != 2 {
+		t.Fatalf("MaxCrashes=2 kept %d crashes", len(kept))
+	}
+	// The survivors must be the two earliest of the full four-device sample.
+	all := Plan{MTBF: plan.MTBF, MaxCrashes: 4, Seed: plan.Seed}.Schedule(devs)
+	var times []sim.Time
+	for _, ev := range all {
+		if ev.Kind == Crash {
+			times = append(times, ev.At)
+		}
+	}
+	for _, ev := range kept {
+		later := 0
+		for _, at := range times {
+			if at < ev.At {
+				later++
+			}
+		}
+		if later >= 2 {
+			t.Fatalf("kept crash at %v is not among the two earliest %v", ev.At, times)
+		}
+	}
+}
+
+// A class absent from the MTBF model never crashes, and the zero plan is
+// disabled outright.
+func TestClassImmortality(t *testing.T) {
+	devs := refFleet(t)
+	plan := Plan{MTBF: ft.MTBFModel{hw.GPU: 1}, MaxCrashes: 10, Seed: 3}
+	if events := plan.Schedule(devs); len(events) != 0 {
+		t.Fatalf("fleet without GPUs sampled %d GPU faults", len(events))
+	}
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	if !plan.Enabled() {
+		t.Fatal("plan with an MTBF model reports disabled")
+	}
+}
+
+// Degrade events carry the shrunk capacity, clamped by DegradeTo.
+func TestDegradeCapacity(t *testing.T) {
+	devs := refFleet(t)
+	plan := Plan{DegradeMTBF: ft.MTBFModel{hw.CPUx86: 100}, DegradeTo: 0.25, Seed: 5}
+	events := plan.Schedule(devs)
+	if len(events) == 0 {
+		t.Fatal("no degrade events sampled")
+	}
+	cores := hw.XeonD().Cores
+	for _, ev := range events {
+		if ev.Kind != Degrade {
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+		if want := cores / 4; ev.Capacity != want {
+			t.Fatalf("degraded capacity %d, want %d", ev.Capacity, want)
+		}
+	}
+}
+
+// fakeFleet records control calls for injector tests.
+type fakeFleet struct {
+	failed   []string
+	caps     map[string]int
+	setCalls int
+}
+
+func (f *fakeFleet) Fail(id string) { f.failed = append(f.failed, id) }
+func (f *fakeFleet) SetCapacity(id string, cores int) {
+	f.setCalls++
+	f.caps[id] = cores
+}
+func (f *fakeFleet) Capacity(id string) int { return f.caps[id] }
+
+// The injector applies each global fault exactly once no matter how many
+// jobs cross the event time, and records it in the registry.
+func TestInjectorIdempotent(t *testing.T) {
+	devs := refFleet(t)
+	fleet := &fakeFleet{caps: map[string]int{"cpu0": 16, "cpu1": 16}}
+	reg := monitor.NewRegistry()
+	plan := Plan{MTBF: ft.MTBFModel{hw.CPUx86: 100}, Seed: 1}
+	in := NewInjector(plan, fleet, devs, reg)
+
+	first := in.Crash("cpu0")
+	second := in.Crash("cpu0")
+	if !first || second {
+		t.Fatalf("crash application: first=%v second=%v, want true/false", first, second)
+	}
+	if len(fleet.failed) != 1 || fleet.failed[0] != "cpu0" {
+		t.Fatalf("fleet.Fail calls = %v, want exactly one for cpu0", fleet.failed)
+	}
+	if !in.Lost("cpu0") || in.Lost("cpu1") {
+		t.Fatal("lost bookkeeping wrong")
+	}
+	if in.Crashes() != 1 {
+		t.Fatalf("crashes = %d, want 1", in.Crashes())
+	}
+	if reg.Snapshot("faults")["device-crashes"] != 1 {
+		t.Fatalf("registry crashes = %v", reg.Snapshot("faults"))
+	}
+
+	ev := Event{Device: "cpu1", Kind: Degrade, Capacity: 8}
+	if !in.Degrade(ev) || in.Degrade(ev) {
+		t.Fatal("degrade not exactly-once")
+	}
+	if fleet.caps["cpu1"] != 8 {
+		t.Fatalf("cpu1 capacity = %d after degrade, want 8", fleet.caps["cpu1"])
+	}
+	// Degrading an already-lost device is a no-op.
+	if in.Degrade(Event{Device: "cpu0", Kind: Degrade, Capacity: 4}) {
+		t.Fatal("degrade applied to a crashed device")
+	}
+}
+
+// Sampler streams are deterministic per (seed, stream) and independent
+// across streams.
+func TestSamplerDeterministic(t *testing.T) {
+	devs := refFleet(t)
+	fleet := &fakeFleet{caps: map[string]int{}}
+	plan := Plan{SDC: ft.SDCModel{hw.FPGA: 0.5}, Seed: 11}
+	mk := func() *Injector { return NewInjector(plan, fleet, devs, nil) }
+
+	a, b := mk().Sampler(3), mk().Sampler(3)
+	if a == nil || b == nil {
+		t.Fatal("sampler nil despite SDC model")
+	}
+	for i := 0; i < 64; i++ {
+		if a(hw.FPGA) != b(hw.FPGA) {
+			t.Fatalf("stream diverged at draw %d", i)
+		}
+		if a(hw.CPUx86) || b(hw.CPUx86) {
+			t.Fatal("class absent from SDC model reported corruption")
+		}
+	}
+	if s := mk().Sampler(4); s == nil {
+		t.Fatal("second stream nil")
+	}
+	noSDC := Plan{MTBF: ft.MTBFModel{hw.CPUx86: 1}, Seed: 11}
+	if NewInjector(noSDC, fleet, devs, nil).Sampler(0) != nil {
+		t.Fatal("sampler non-nil without an SDC model")
+	}
+}

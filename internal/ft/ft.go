@@ -33,6 +33,37 @@ func DefaultSDCModel() SDCModel {
 	}
 }
 
+// MTBFModel gives per-class mean time between failures in seconds — the
+// hard-failure analogue of SDCModel. A class absent from the model never
+// crashes. Paper Sec. IV motivates the spread: undervolted FPGAs and
+// accelerators pushed to the energy-efficiency edge fail far more often
+// than conservatively-clocked CPUs.
+type MTBFModel map[hw.Class]float64
+
+// DefaultMTBFModel is a representative model (seconds between failures):
+// CPUs are near-immortal on session timescales; GPUs and DFEs fail
+// occasionally; undervolted FPGAs are the weakest.
+func DefaultMTBFModel() MTBFModel {
+	return MTBFModel{
+		hw.CPUx86: 400 * 3600,
+		hw.CPUARM: 400 * 3600,
+		hw.GPU:    80 * 3600,
+		hw.FPGA:   24 * 3600,
+		hw.DFE:    48 * 3600,
+	}
+}
+
+// Scaled returns a copy of the model with every MTBF multiplied by k —
+// how experiments compress datacentre failure timescales onto a
+// session-length virtual clock.
+func (m MTBFModel) Scaled(k float64) MTBFModel {
+	out := make(MTBFModel, len(m))
+	for c, v := range m {
+		out[c] = v * k
+	}
+	return out
+}
+
 // Mode selects the replication strategy.
 type Mode int
 

@@ -1,0 +1,77 @@
+package fti
+
+import (
+	"time"
+
+	"legato/internal/sim"
+)
+
+// First-order virtual-time cost model for the multi-level checkpoint
+// hierarchy, consistent with the StoreConfig bandwidth defaults (16 GB/s
+// node-local NVMe, 10 GB/s network, 10 GB/s PFS). The engine's resilient
+// execution layer uses it to price a job's periodic async checkpoints and
+// the restore after a device loss without instantiating a full FTI rank
+// group: LevelCost is the capture latency (when an async checkpoint
+// commits), RestoreCost the read-back latency charged before invalidated
+// tasks re-execute.
+
+const (
+	costNVMeGBps = 16.0
+	costNetGBps  = 10.0
+	costPFSGBps  = 10.0
+)
+
+// perLevelFloor is the fixed per-checkpoint latency (metadata, barriers).
+func perLevelFloor(l Level) sim.Time {
+	switch l {
+	case L2:
+		return time.Millisecond
+	case L3:
+		return 2 * time.Millisecond
+	case L4:
+		return 4 * time.Millisecond
+	default:
+		return 500 * time.Microsecond
+	}
+}
+
+func xferTime(bytes int64, gbps float64) sim.Time {
+	if bytes <= 0 || gbps <= 0 {
+		return 0
+	}
+	sec := float64(bytes) / (gbps * 1e9)
+	return sim.Time(sec * float64(time.Second))
+}
+
+// LevelCost returns the virtual time for a checkpoint of the given size to
+// commit at the given level: every level pays the L1 NVMe write; L2 adds
+// the partner copy over the network; L3 adds Reed-Solomon parity traffic
+// (one extra shard per group, approximated as a second network pass); L4
+// adds the PFS write.
+func LevelCost(l Level, bytes int64) sim.Time {
+	c := perLevelFloor(l) + xferTime(bytes, costNVMeGBps)
+	if l >= L2 {
+		c += xferTime(bytes, costNetGBps)
+	}
+	if l >= L3 {
+		c += xferTime(bytes, costNetGBps)
+	}
+	if l >= L4 {
+		c += xferTime(bytes, costPFSGBps)
+	}
+	return c
+}
+
+// RestoreCost returns the virtual time to read a checkpoint of the given
+// size back: L1 reads local NVMe; L2/L3 fetch from the partner or decode
+// over the network; L4 reads the PFS.
+func RestoreCost(l Level, bytes int64) sim.Time {
+	switch {
+	case l >= L4:
+		return perLevelFloor(l) + xferTime(bytes, costPFSGBps)
+	case l >= L2:
+		return perLevelFloor(l) + xferTime(bytes, costNetGBps)
+	default:
+		return perLevelFloor(l) + xferTime(bytes, costNVMeGBps)
+	}
+}

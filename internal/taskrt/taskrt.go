@@ -5,16 +5,40 @@
 // GPUs, FPGAs) that the hw layer models — optimising for time, energy, or
 // energy-delay product, which is how the task abstraction "maximises
 // optimisation opportunities for low-energy computing" (Sec. I).
+//
+// The runtime is also the recovery layer of the resilience story (paper
+// Sec. IV): a device may be failed mid-run (FailDevice), which revokes the
+// tasks executing on it and re-places them on surviving devices with
+// exponential backoff under a bounded attempt budget; completed-but-not-yet
+// -checkpointed outputs resident on the lost device are invalidated and
+// re-executed ("restored"); and jobs may opt into periodic asynchronous
+// checkpoints (SetCheckpoint) so a crash restarts from the last snapshot
+// instead of from zero.
 package taskrt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"legato/internal/energy"
 	"legato/internal/hw"
 	"legato/internal/sim"
+)
+
+// Typed failure sentinels, matchable with errors.Is through every wrapping
+// layer up to the public legato surface.
+var (
+	// ErrDeviceLost marks a task that became unplaceable because every
+	// device that could host it crashed or lost the capacity to fit it.
+	ErrDeviceLost = errors.New("taskrt: device lost")
+	// ErrRetriesExhausted marks a task that failed more times than its
+	// attempt budget allows.
+	ErrRetriesExhausted = errors.New("taskrt: retries exhausted")
+	// ErrNoDevice marks a task no device could ever have hosted.
+	ErrNoDevice = errors.New("taskrt: no compatible device")
 )
 
 // Admission arbitrates real device capacity between runtimes that execute
@@ -27,21 +51,36 @@ import (
 // Implementations must be safe for concurrent use. Changed returns a
 // channel that is closed on the next Release after the call; a runtime
 // grabs it before dispatching so a release racing with a failed
-// TryAcquire can never be missed.
+// TryAcquire can never be missed. Capacity reports a device's current
+// total capacity — zero for a lost device — letting runtimes distinguish
+// transient contention (park and wait) from permanent loss (re-place or
+// fail with ErrDeviceLost).
 type Admission interface {
 	TryAcquire(deviceID string, cores int) bool
 	Release(deviceID string, cores int)
 	Changed() <-chan struct{}
+	Capacity(deviceID string) int
 }
 
 // Hooks observe the task lifecycle. Hooks registered with AddHooks are
 // invoked on the goroutine driving the runtime: Queued at submission,
 // Started when a task begins executing on a device, Finished when it
-// completes (with the full Record). Any field may be nil.
+// completes (with the full Record). The resilience hooks fire on recovery
+// events: Retried when a failed/corrupted execution is re-queued,
+// DeviceLost when a device is failed mid-run, Checkpointed when an
+// asynchronous checkpoint lands. Any field may be nil.
 type Hooks struct {
 	Queued   func(name string)
 	Started  func(Record)
 	Finished func(Record)
+	// Retried fires when a task execution is abandoned and re-queued;
+	// reason is "crash", "sdc" or "restore".
+	Retried func(name string, attempt int, reason string, at sim.Time)
+	// DeviceLost fires once per FailDevice call with the revocation and
+	// invalidation counts.
+	DeviceLost func(deviceID string, revoked, restored int, at sim.Time)
+	// Checkpointed fires when an async checkpoint commits.
+	Checkpointed func(tasks int, bytes int64, start, end sim.Time)
 }
 
 // Data is a named data region tasks depend on.
@@ -83,8 +122,13 @@ type Task struct {
 	Priority int
 	// Critical marks the task reliability-critical (selective replication,
 	// paper Sec. I: "only the most reliability-critical tasks will be
-	// replicated").
+	// replicated"). Critical tasks detect silent data corruption (the DMR
+	// vote catches a divergent replica) and re-execute; non-critical tasks
+	// carry corruption silently.
 	Critical bool
+	// Retry is the per-task failure attempt budget (extra executions after
+	// a crash or detected corruption); zero uses the runtime default.
+	Retry int
 	// Fn runs at completion time (simulated); may be nil.
 	Fn func()
 }
@@ -95,8 +139,13 @@ type node struct {
 	id      int
 	deps    int     // unsatisfied predecessor count
 	succ    []*node // successors
+	pred    []*node // predecessors (for re-execution after invalidation)
 	done    bool
 	started bool
+
+	attempts  int        // failed executions so far (crash/sdc)
+	persisted bool       // output captured by a committed checkpoint
+	handle    sim.Handle // completion event while running
 
 	record Record
 }
@@ -111,6 +160,11 @@ type Record struct {
 	End      sim.Time
 	EnergyJ  energy.Joules
 	Critical bool
+	// Attempts counts executions of the task (1 = first try succeeded).
+	Attempts int
+	// Corrupted marks a silent data corruption that went undetected (the
+	// task was not replicated/critical).
+	Corrupted bool
 }
 
 // Policy selects the placement objective.
@@ -154,17 +208,83 @@ type Runtime struct {
 	hooks   []Hooks
 	held    map[string]int // admission grants currently held, by device ID
 	blocked bool           // a ready task lost admission this dispatch round
+
+	// Resilience state.
+	running      map[*node]struct{}
+	retryMax     int      // default attempt budget (extra executions)
+	retryBackoff sim.Time // base backoff, doubled per attempt
+	corrupt      func(Record) bool
+	failErr      error // terminal failure (retries exhausted)
+	faultEvents  []sim.Handle
+
+	// Checkpoint state.
+	ckptEvery   int
+	ckptCost    func(bytes int64) sim.Time
+	restoreCost func(bytes int64) sim.Time
+	sinceCkpt   int
+	ckptBytes   int64
+
+	retries     int
+	restores    int
+	ckpts       int
+	sdcDetected int
+	sdcSilent   int
 }
 
 // New creates a runtime over the given devices.
 func New(eng *sim.Engine, devices []*hw.Device, policy Policy) *Runtime {
-	return &Runtime{eng: eng, devices: devices, policy: policy, held: make(map[string]int)}
+	return &Runtime{
+		eng: eng, devices: devices, policy: policy,
+		held:         make(map[string]int),
+		running:      make(map[*node]struct{}),
+		retryBackoff: time.Millisecond,
+	}
 }
 
 // SetAdmission installs a shared capacity ledger. Must be called before the
 // first Submit. With no admission the runtime assumes exclusive ownership
 // of its devices, which is the historical single-tenant behaviour.
 func (r *Runtime) SetAdmission(a Admission) { r.adm = a }
+
+// SetRetryPolicy sets the default failure attempt budget (extra executions
+// after a crash or detected corruption; Task.Retry overrides per task) and
+// the base backoff, which doubles on every consecutive failure.
+func (r *Runtime) SetRetryPolicy(maxAttempts int, backoff sim.Time) {
+	if maxAttempts >= 0 {
+		r.retryMax = maxAttempts
+	}
+	if backoff > 0 {
+		r.retryBackoff = backoff
+	}
+}
+
+// SetCorruptor installs the silent-data-corruption oracle, consulted once
+// per completed execution with the would-be record. Critical tasks detect
+// a corruption (the DMR vote) and re-execute; others carry it silently.
+func (r *Runtime) SetCorruptor(fn func(Record) bool) { r.corrupt = fn }
+
+// SetCheckpoint enables asynchronous periodic checkpoints: every `every`
+// task completions, the outputs produced since the previous checkpoint are
+// captured and persist after cost(bytes) of virtual time (the async-FTI
+// model: capture overlaps execution, so a checkpoint only costs time when a
+// crash lands inside its window). restore(bytes) is charged before
+// invalidated tasks re-execute after a device loss.
+func (r *Runtime) SetCheckpoint(every int, cost, restore func(bytes int64) sim.Time) {
+	r.ckptEvery = every
+	r.ckptCost = cost
+	r.restoreCost = restore
+}
+
+// ScheduleFault registers fn to run at the given virtual time *while the
+// graph is still executing*: pending fault events are cancelled the moment
+// the graph completes, so a failure process sampled beyond the job's
+// lifetime cannot stretch the run.
+func (r *Runtime) ScheduleFault(at sim.Time, fn func()) {
+	r.faultEvents = append(r.faultEvents, r.eng.ScheduleAt(at, fn))
+}
+
+// Checkpoints reports how many checkpoints have committed.
+func (r *Runtime) Checkpoints() int { return r.ckpts }
 
 // AddHooks registers lifecycle observers; multiple sets compose and fire
 // in registration order.
@@ -193,6 +313,7 @@ func (r *Runtime) Submit(t Task) error {
 			return
 		}
 		from.succ = append(from.succ, n)
+		n.pred = append(n.pred, from)
 		n.deps++
 	}
 	for _, d := range t.In {
@@ -248,6 +369,25 @@ func (r *Runtime) enqueue(n *node) {
 	})
 }
 
+// unready removes a node from the ready queue if present.
+func (r *Runtime) unready(n *node) {
+	for i, m := range r.ready {
+		if m == n {
+			r.ready = append(r.ready[:i], r.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *Runtime) inReady(n *node) bool {
+	for _, m := range r.ready {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
 // compatible reports whether dev can run t.
 func compatible(t Task, dev *hw.Device) bool {
 	if !dev.Healthy() {
@@ -256,11 +396,16 @@ func compatible(t Task, dev *hw.Device) bool {
 	if dev.Spec.Cores < t.Cores {
 		return false
 	}
+	return classMatch(t, dev.Spec.Class)
+}
+
+// classMatch reports whether t accepts the given device class.
+func classMatch(t Task, c hw.Class) bool {
 	if len(t.Targets) == 0 {
 		return true
 	}
-	for _, c := range t.Targets {
-		if dev.Spec.Class == c {
+	for _, want := range t.Targets {
+		if want == c {
 			return true
 		}
 	}
@@ -298,6 +443,12 @@ func (r *Runtime) dispatch() {
 			best := -1
 			bestScore := 0.0
 			for di, dev := range r.devices {
+				if r.adm != nil && r.adm.Capacity(dev.ID) < n.task.Cores {
+					// The fleet behind this device lost the capacity to ever
+					// fit the task (crash or degrade) — permanently unfit,
+					// not a transient stall.
+					continue
+				}
 				if s, ok := r.score(n.task, dev); ok && (best == -1 || s < bestScore) {
 					best, bestScore = di, s
 				}
@@ -344,37 +495,283 @@ func (r *Runtime) start(n *node, dev *hw.Device) {
 	n.record.Class = dev.Spec.Class
 	n.record.Start = r.eng.Now()
 	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores)
+	n.record.Attempts++
+	r.running[n] = struct{}{}
 	for _, h := range r.hooks {
 		if h.Started != nil {
 			h.Started(n.record)
 		}
 	}
 	span := dev.ExecTime(t.Gops, t.Cores)
-	r.eng.Schedule(span, func() {
-		dev.Release(t.Cores)
-		if r.adm != nil {
-			r.held[dev.ID] -= t.Cores
-			r.adm.Release(dev.ID, t.Cores)
+	n.handle = r.eng.Schedule(span, func() { r.complete(n, dev) })
+}
+
+// complete finishes one execution of n on dev: the device and admission
+// grant are returned, the SDC oracle is consulted, and the node either
+// finishes or re-queues for another attempt.
+func (r *Runtime) complete(n *node, dev *hw.Device) {
+	t := n.task
+	delete(r.running, n)
+	dev.Release(t.Cores)
+	if r.adm != nil {
+		r.held[dev.ID] -= t.Cores
+		r.adm.Release(dev.ID, t.Cores)
+	}
+	n.record.End = r.eng.Now()
+	if r.corrupt != nil && r.corrupt(n.record) {
+		if t.Critical {
+			// The replica vote disagrees: corruption detected, re-execute.
+			r.sdcDetected++
+			n.started = false
+			r.retry(n, "sdc")
+			r.dispatch()
+			return
 		}
-		n.record.End = r.eng.Now()
-		n.done = true
-		r.inDAG--
-		if t.Fn != nil {
-			t.Fn()
+		n.record.Corrupted = true
+		r.sdcSilent++
+	}
+	r.finishNode(n)
+	r.dispatch()
+}
+
+// finishNode commits a successful execution: successors are released, the
+// checkpoint schedule advances, and pending fault events are cancelled once
+// the whole graph is done (a failure process sampled beyond the job's
+// lifetime must not stretch the run).
+func (r *Runtime) finishNode(n *node) {
+	n.done = true
+	r.inDAG--
+	if n.task.Fn != nil {
+		n.task.Fn()
+	}
+	for _, h := range r.hooks {
+		if h.Finished != nil {
+			h.Finished(n.record)
 		}
-		for _, h := range r.hooks {
-			if h.Finished != nil {
-				h.Finished(n.record)
+	}
+	for _, s := range n.succ {
+		s.deps--
+		if s.deps == 0 && !s.done {
+			r.enqueue(s)
+		}
+	}
+	r.maybeCheckpoint(n)
+	if r.inDAG == 0 {
+		for _, h := range r.faultEvents {
+			h.Cancel()
+		}
+		r.faultEvents = r.faultEvents[:0]
+	}
+}
+
+// maybeCheckpoint advances the checkpoint schedule after n completed and,
+// every ckptEvery completions, starts an asynchronous capture of all not-
+// yet-persisted outputs that commits cost(bytes) later.
+func (r *Runtime) maybeCheckpoint(n *node) {
+	if r.ckptEvery <= 0 {
+		return
+	}
+	r.sinceCkpt++
+	for _, d := range n.task.Out {
+		r.ckptBytes += d.Size
+	}
+	for _, d := range n.task.InOut {
+		r.ckptBytes += d.Size
+	}
+	if r.sinceCkpt < r.ckptEvery {
+		return
+	}
+	r.sinceCkpt = 0
+	bytes := r.ckptBytes
+	r.ckptBytes = 0
+	var snap []*node
+	for _, m := range r.nodes {
+		if m.done && !m.persisted {
+			snap = append(snap, m)
+		}
+	}
+	if len(snap) == 0 {
+		return
+	}
+	var cost sim.Time
+	if r.ckptCost != nil {
+		cost = r.ckptCost(bytes)
+	}
+	start := r.eng.Now()
+	r.eng.Schedule(cost, func() {
+		committed := 0
+		for _, m := range snap {
+			// A crash inside the checkpoint window invalidates members of
+			// the snapshot; only still-done nodes commit.
+			if m.done {
+				m.persisted = true
+				committed++
 			}
+		}
+		r.ckpts++
+		for _, h := range r.hooks {
+			if h.Checkpointed != nil {
+				h.Checkpointed(committed, bytes, start, r.eng.Now())
+			}
+		}
+	})
+}
+
+// budget returns n's failure attempt budget.
+func (r *Runtime) budget(n *node) int {
+	if n.task.Retry > 0 {
+		return n.task.Retry
+	}
+	return r.retryMax
+}
+
+// retry re-queues a failed execution with exponential backoff, or records
+// the terminal ErrRetriesExhausted failure once the budget is spent.
+func (r *Runtime) retry(n *node, reason string) {
+	n.attempts++
+	if budget := r.budget(n); n.attempts > budget {
+		if r.failErr == nil {
+			r.failErr = fmt.Errorf("taskrt: task %q gave up after %d failed attempts (%s): %w",
+				n.task.Name, n.attempts, reason, ErrRetriesExhausted)
+		}
+		return
+	}
+	r.retries++
+	for _, h := range r.hooks {
+		if h.Retried != nil {
+			h.Retried(n.task.Name, n.attempts, reason, r.eng.Now())
+		}
+	}
+	backoff := r.retryBackoff << uint(n.attempts-1)
+	r.eng.Schedule(backoff, func() {
+		// deps may have grown since the revocation if a predecessor's
+		// output was invalidated by the same device loss — then the
+		// completion path re-enqueues this node, not the backoff timer.
+		if n.deps == 0 && !n.done && !n.started && !r.inReady(n) {
+			r.enqueue(n)
+			r.dispatch()
+		}
+	})
+}
+
+// FailDevice fails the named device mid-run: in-flight tasks on it are
+// revoked (their grants returned, their executions re-queued under the
+// retry budget), the mirror device is marked unhealthy so placement routes
+// around it, and completed-but-unpersisted outputs resident on the device
+// are invalidated and scheduled for re-execution after the restore cost —
+// unless a committed checkpoint already captured them. It returns the
+// revocation and invalidation counts; failing an unknown or already-failed
+// device is a no-op.
+func (r *Runtime) FailDevice(id string) (revoked, restored int) {
+	var dev *hw.Device
+	for _, d := range r.devices {
+		if d.ID == id {
+			dev = d
+			break
+		}
+	}
+	if dev == nil || !dev.Healthy() {
+		return 0, 0
+	}
+	// Revoke in-flight executions.
+	for n := range r.running {
+		if n.record.Device != id {
+			continue
+		}
+		delete(r.running, n)
+		n.handle.Cancel()
+		dev.Release(n.task.Cores)
+		if r.adm != nil {
+			r.held[id] -= n.task.Cores
+			r.adm.Release(id, n.task.Cores)
+		}
+		n.started = false
+		revoked++
+		r.retry(n, "crash")
+	}
+	dev.Fail()
+
+	// Invalidate completed outputs that lived on the device and were never
+	// checkpointed: they are gone, so any task whose output is still needed
+	// (a pending successor, or a terminal output) must re-execute. The
+	// closure is transitive — a re-executing task needs its inputs, so an
+	// un-persisted predecessor on the lost device is dragged back in too —
+	// which is exactly the "restart from zero vs restart from the last
+	// snapshot" trade the checkpoint option buys out of.
+	invalSet := make(map[*node]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range r.nodes {
+			if !n.done || n.persisted || n.record.Device != id || invalSet[n] {
+				continue
+			}
+			needed := len(n.succ) == 0
+			for _, s := range n.succ {
+				if !s.done || invalSet[s] {
+					needed = true
+					break
+				}
+			}
+			if needed {
+				invalSet[n] = true
+				changed = true
+			}
+		}
+	}
+	// Deterministic processing order: nodes slice order, not map order.
+	var inval []*node
+	for _, n := range r.nodes {
+		if invalSet[n] {
+			inval = append(inval, n)
+		}
+	}
+	var restoreBytes int64
+	for _, n := range inval {
+		n.done = false
+		n.started = false
+		r.inDAG++
+	}
+	for _, n := range inval {
+		for _, d := range n.task.Out {
+			restoreBytes += d.Size
+		}
+		for _, d := range n.task.InOut {
+			restoreBytes += d.Size
 		}
 		for _, s := range n.succ {
-			s.deps--
-			if s.deps == 0 && !s.done {
-				r.enqueue(s)
+			if !s.done && !s.started {
+				s.deps++
+				r.unready(s)
 			}
 		}
-		r.dispatch()
-	})
+	}
+	var delay sim.Time
+	if r.restoreCost != nil && restoreBytes > 0 {
+		delay = r.restoreCost(restoreBytes)
+	}
+	restored = len(inval)
+	r.restores += restored
+	for _, n := range inval {
+		n := n
+		for _, h := range r.hooks {
+			if h.Retried != nil {
+				h.Retried(n.task.Name, n.attempts, "restore", r.eng.Now())
+			}
+		}
+		r.eng.Schedule(delay, func() {
+			if n.deps == 0 && !n.done && !n.started && !r.inReady(n) {
+				r.enqueue(n)
+				r.dispatch()
+			}
+		})
+	}
+	for _, h := range r.hooks {
+		if h.DeviceLost != nil {
+			h.DeviceLost(id, revoked, restored, r.eng.Now())
+		}
+	}
+	r.dispatch()
+	return revoked, restored
 }
 
 // Result summarises a completed run.
@@ -383,6 +780,17 @@ type Result struct {
 	Records  []Record
 	// EnergyJ is the summed dynamic task energy.
 	EnergyJ energy.Joules
+	// Retries counts re-queued executions after crashes or detected SDCs.
+	Retries int
+	// Restores counts completed tasks re-executed after a device loss
+	// invalidated their un-checkpointed outputs.
+	Restores int
+	// Checkpoints counts committed asynchronous checkpoints.
+	Checkpoints int
+	// SDCDetected counts corruptions caught by the replica vote.
+	SDCDetected int
+	// SDCSilent counts corruptions that went undetected.
+	SDCSilent int
 }
 
 // Run executes the submitted graph to completion and returns the trace.
@@ -399,6 +807,11 @@ func (r *Runtime) Run() (*Result, error) { return r.RunContext(context.Backgroun
 // released elsewhere (or ctx fires) — the job's virtual clock does not
 // advance while parked. A runtime that returned an error must not be run
 // again.
+//
+// Failure semantics: a task that exhausts its retry budget aborts the run
+// with ErrRetriesExhausted; a task left unplaceable by device loss aborts
+// with ErrDeviceLost; a task no device could ever host aborts with
+// ErrNoDevice.
 func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 	abort := func(err error) (*Result, error) {
 		r.releaseHeld()
@@ -407,6 +820,9 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return abort(err)
+		}
+		if r.failErr != nil {
+			return abort(r.failErr)
 		}
 		// Grab the change channel before dispatching: a release that races
 		// with a failed TryAcquire below closes this very channel, so the
@@ -436,11 +852,17 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 		}
 		for _, n := range r.nodes {
 			if !n.done {
-				return abort(fmt.Errorf("taskrt: task %q never ran (no compatible device?)", n.task.Name))
+				return abort(r.stuckErr(n))
 			}
 		}
 	}
-	res := &Result{}
+	res := &Result{
+		Retries:     r.retries,
+		Restores:    r.restores,
+		Checkpoints: r.ckpts,
+		SDCDetected: r.sdcDetected,
+		SDCSilent:   r.sdcSilent,
+	}
 	for _, n := range r.nodes {
 		res.Records = append(res.Records, n.record)
 		if n.record.End > res.Makespan {
@@ -449,6 +871,29 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 		res.EnergyJ += n.record.EnergyJ
 	}
 	return res, nil
+}
+
+// stuckErr explains why a leftover task can never run: ErrDeviceLost when a
+// device that could have hosted it crashed or shrank below its width,
+// ErrNoDevice otherwise.
+func (r *Runtime) stuckErr(n *node) error {
+	cores := n.task.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	lost := false
+	for _, d := range r.devices {
+		if d.Spec.Cores < cores || !classMatch(n.task, d.Spec.Class) {
+			continue
+		}
+		if !d.Healthy() || (r.adm != nil && r.adm.Capacity(d.ID) < cores) {
+			lost = true
+		}
+	}
+	if lost {
+		return fmt.Errorf("taskrt: task %q unplaceable after device loss: %w", n.task.Name, ErrDeviceLost)
+	}
+	return fmt.Errorf("taskrt: task %q never ran: %w", n.task.Name, ErrNoDevice)
 }
 
 // releaseHeld returns every admission grant still held by in-flight tasks,

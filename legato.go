@@ -40,6 +40,7 @@ package legato
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,6 +48,8 @@ import (
 
 	"legato/internal/energy"
 	"legato/internal/engine"
+	"legato/internal/faults"
+	"legato/internal/fti"
 	"legato/internal/hw"
 	"legato/internal/middleware"
 	"legato/internal/monitor"
@@ -54,6 +57,27 @@ import (
 	"legato/internal/sim"
 	"legato/internal/taskrt"
 	"legato/internal/trace"
+)
+
+// Typed errors of the public surface, matchable with errors.Is through any
+// wrapping layer.
+var (
+	// ErrGraphFrozen: the job was already handed to the engine; its task
+	// graph can no longer be extended (Submit/Task after Start/Run).
+	ErrGraphFrozen = errors.New("legato: job graph is frozen")
+	// ErrUndeclaredRegion: a task names an input region that was never
+	// declared with Job.Data nor produced by an earlier Out clause.
+	ErrUndeclaredRegion = errors.New("legato: undeclared data region")
+	// ErrJobCancelled: the job itself was cancelled (context cancellation
+	// or deadline); Wait returns it wrapped together with the context
+	// error, so errors.Is matches either.
+	ErrJobCancelled = errors.New("legato: job cancelled")
+	// ErrDeviceLost: a task became unplaceable because every device that
+	// could host it crashed or lost the capacity to fit it.
+	ErrDeviceLost = taskrt.ErrDeviceLost
+	// ErrRetriesExhausted: a task failed more times than its attempt
+	// budget allows.
+	ErrRetriesExhausted = taskrt.ErrRetriesExhausted
 )
 
 // Policy re-exports the runtime placement objectives.
@@ -90,6 +114,7 @@ type settings struct {
 	tee      secure.TEEKind
 	rootKey  []byte
 	workers  int
+	faults   *faults.Plan
 }
 
 func defaultSettings() settings {
@@ -144,6 +169,22 @@ func WithWorkers(n int) Option {
 	return optionFunc(func(s *settings) {
 		if n > 0 {
 			s.workers = n
+		}
+	})
+}
+
+// WithFaults arms the session with an MTBF-driven failure process (see
+// faults.Plan): devices may crash or degrade at sampled virtual times, and
+// task outputs may silently corrupt per the plan's SDC model. Jobs recover
+// by re-placing revoked tasks on surviving devices (bounded retries with
+// exponential backoff) and, when Job.Checkpoint is enabled, by restarting
+// from the last committed snapshot instead of from zero.
+func WithFaults(p faults.Plan) Option {
+	return optionFunc(func(s *settings) {
+		if p.Enabled() {
+			s.faults = &p
+		} else {
+			s.faults = nil
 		}
 	})
 }
@@ -210,6 +251,10 @@ type Task struct {
 	In, Out, InOut []string
 	// Priority breaks scheduler ties.
 	Priority int
+	// Retry is the task's failure attempt budget under fault injection
+	// (extra executions after a crash or detected corruption); zero uses
+	// the engine default.
+	Retry int
 	// Fn runs at completion.
 	Fn func()
 	// Req are the non-functional requirements.
@@ -295,6 +340,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		},
 		Fleet:    fleet,
 		Registry: s.reg,
+		Faults:   set.faults,
 	})
 	if err != nil {
 		return nil, err
@@ -346,6 +392,16 @@ type SessionStats struct {
 	// AdmissionStalls counts admission attempts that lost to a sibling
 	// job (contention signal; zero means the overlap estimate is exact).
 	AdmissionStalls uint64
+	// TasksRetried counts task executions re-queued after crashes or
+	// detected corruptions, across all jobs.
+	TasksRetried int
+	// TasksRestored counts completed tasks re-executed after a device loss
+	// invalidated their un-checkpointed outputs.
+	TasksRestored int
+	// Checkpoints counts committed asynchronous job checkpoints.
+	Checkpoints int
+	// DevicesLost counts devices crashed by the failure process.
+	DevicesLost int
 }
 
 // Stats snapshots the engine session counters.
@@ -362,8 +418,16 @@ func (s *System) Stats() SessionStats {
 		SessionMakespan: st.SessionMakespan,
 		Speedup:         st.Speedup(),
 		AdmissionStalls: st.AdmissionStalls,
+		TasksRetried:    st.TasksRetried,
+		TasksRestored:   st.TasksRestored,
+		Checkpoints:     st.Checkpoints,
+		DevicesLost:     st.DevicesLost,
 	}
 }
+
+// Fleet exposes the shared admission ledger (capacity, in-use, peak and
+// loss state per device).
+func (s *System) Fleet() *engine.Fleet { return s.eng.Fleet() }
 
 // Close stops accepting jobs and drains the engine; queued jobs still run.
 // If ctx fires first, outstanding jobs are cancelled.
@@ -442,6 +506,24 @@ func (s *System) NewJob(name string) (*Job, error) {
 				Start: rec.Start, End: rec.End,
 			})
 		},
+		Retried: func(task string, attempt int, reason string, at sim.Time) {
+			j.tracer.Add(trace.Span{
+				Name: fmt.Sprintf("%s#retry%d(%s)", task, attempt, reason),
+				Category: "failure", Resource: task, Start: at, End: at,
+			})
+		},
+		DeviceLost: func(deviceID string, revoked, restored int, at sim.Time) {
+			j.tracer.Add(trace.Span{
+				Name: fmt.Sprintf("crash(%s) revoked=%d restored=%d", deviceID, revoked, restored),
+				Category: "failure", Resource: deviceID, Start: at, End: at,
+			})
+		},
+		Checkpointed: func(tasks int, bytes int64, start, end sim.Time) {
+			j.tracer.Add(trace.Span{
+				Name: fmt.Sprintf("ckpt tasks=%d bytes=%d", tasks, bytes),
+				Category: "checkpoint", Resource: name, Start: start, End: end,
+			})
+		},
 	})
 	return j, nil
 }
@@ -492,7 +574,7 @@ func (j *Job) resolveLocked(kind string, names []string) ([]*taskrt.Data, error)
 	for _, n := range names {
 		d, ok := j.data[n]
 		if !ok {
-			return nil, fmt.Errorf("legato: %s dependency %q was never declared: declare it with Job.Data or produce it with an Out clause first", kind, n)
+			return nil, fmt.Errorf("legato: %s dependency %q was never declared: declare it with Job.Data or produce it with an Out clause first: %w", kind, n, ErrUndeclaredRegion)
 		}
 		out = append(out, d)
 	}
@@ -552,7 +634,7 @@ func (j *Job) submitLocked(t Task) error {
 		return fmt.Errorf("legato: task needs a name")
 	}
 	if j.started {
-		return fmt.Errorf("legato: job %q already submitted to the engine", j.name)
+		return fmt.Errorf("legato: job %q already submitted to the engine: %w", j.name, ErrGraphFrozen)
 	}
 	ins, err := j.resolveLocked("input", t.In)
 	if err != nil {
@@ -600,7 +682,7 @@ func (j *Job) submitLocked(t Task) error {
 		return rt.Submit(taskrt.Task{
 			Name: t.Name, Gops: t.Gops, Cores: cores, Targets: t.Targets,
 			In: ins, Out: outs, InOut: inouts,
-			Priority: t.Priority, Critical: false, Fn: fn,
+			Priority: t.Priority, Critical: false, Retry: t.Retry, Fn: fn,
 		})
 	}
 
@@ -617,14 +699,14 @@ func (j *Job) submitLocked(t Task) error {
 	if err := rt.Submit(taskrt.Task{
 		Name: t.Name + "#a", Gops: t.Gops, Cores: cores, Targets: targetA,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowA},
-		Priority: t.Priority, Critical: true, Fn: fn,
+		Priority: t.Priority, Critical: true, Retry: t.Retry, Fn: fn,
 	}); err != nil {
 		return err
 	}
 	if err := rt.Submit(taskrt.Task{
 		Name: t.Name + "#b", Gops: t.Gops, Cores: cores, Targets: targetB,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowB},
-		Priority: t.Priority, Critical: true,
+		Priority: t.Priority, Critical: true, Retry: t.Retry,
 	}); err != nil {
 		return err
 	}
@@ -633,8 +715,32 @@ func (j *Job) submitLocked(t Task) error {
 		Name: t.Name + "#vote", Gops: 0.01, Cores: 1,
 		In:  []*taskrt.Data{shadowA, shadowB},
 		Out: outs, InOut: inouts,
-		Priority: t.Priority, Critical: true,
+		Priority: t.Priority, Critical: true, Retry: t.Retry,
 	})
+}
+
+// Checkpoint opts the job into periodic asynchronous checkpoints at the
+// given FTI level: every `every` task completions a snapshot of the
+// outputs produced since the previous one is captured, committing after
+// the level's write cost (fti.LevelCost). After a device loss, only tasks
+// whose outputs were never captured re-execute, charged the level's
+// restore cost first. Must be called before Start/Run.
+func (j *Job) Checkpoint(every int, level fti.Level) error {
+	if every <= 0 {
+		return fmt.Errorf("legato: checkpoint interval must be positive (got %d)", every)
+	}
+	if level < fti.L1 || level > fti.L4 {
+		return fmt.Errorf("legato: unknown checkpoint level %d", level)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started {
+		return fmt.Errorf("legato: job %q already submitted to the engine: %w", j.name, ErrGraphFrozen)
+	}
+	j.ej.Runtime().SetCheckpoint(every,
+		func(bytes int64) sim.Time { return fti.LevelCost(level, bytes) },
+		func(bytes int64) sim.Time { return fti.RestoreCost(level, bytes) })
+	return nil
 }
 
 // Start submits the job to the engine without waiting. The context governs
@@ -643,7 +749,7 @@ func (j *Job) Start(ctx context.Context) error {
 	j.mu.Lock()
 	if j.started {
 		j.mu.Unlock()
-		return fmt.Errorf("legato: job %q already started", j.name)
+		return fmt.Errorf("legato: job %q already started: %w", j.name, ErrGraphFrozen)
 	}
 	j.started = true
 	j.mu.Unlock()
@@ -660,11 +766,23 @@ func (j *Job) Run(ctx context.Context) (*Report, error) {
 }
 
 // Wait blocks until the job completes (or ctx fires — which abandons the
-// wait, not the job) and returns its report.
+// wait, not the job) and returns its report. The report is only ever
+// assembled from a terminal result, and a cancelled job yields a typed
+// error matching both ErrJobCancelled and the underlying context error —
+// never a nil report with a nil error.
 func (j *Job) Wait(ctx context.Context) (*Report, error) {
 	res, err := j.ej.Wait(ctx)
 	if err != nil {
+		if j.ej.State() == engine.Cancelled {
+			// The job itself was cancelled (not just this wait abandoned).
+			return nil, fmt.Errorf("legato: job %q cancelled: %w", j.name, errors.Join(ErrJobCancelled, err))
+		}
 		return nil, err
+	}
+	if res == nil {
+		// Defensive: a terminal job without result or error would otherwise
+		// surface as (nil, nil).
+		return nil, fmt.Errorf("legato: job %q finished without a result: %w", j.name, ErrJobCancelled)
 	}
 	j.waitOnce.Do(func() { j.buildReport(res) })
 	return j.report, nil
@@ -682,6 +800,11 @@ func (j *Job) buildReport(res *taskrt.Result) {
 		TaskEnergyJ:     res.EnergyJ,
 		SecurityEnergyJ: j.enclave.EnergyNJ * 1e-9,
 		ReplicatedTasks: replicas,
+		Retries:         res.Retries,
+		Restores:        res.Restores,
+		Checkpoints:     res.Checkpoints,
+		SDCDetected:     res.SDCDetected,
+		SDCSilent:       res.SDCSilent,
 		Energy:          energy.NewReport(),
 	}
 	for _, d := range j.ej.Devices() {
@@ -762,6 +885,11 @@ func (b *TaskBuilder) InOut(hs ...DataHandle) *TaskBuilder {
 	return b
 }
 
+// Retry sets the task's failure attempt budget under fault injection
+// (extra executions after a crash or detected corruption); zero keeps the
+// engine default.
+func (b *TaskBuilder) Retry(n int) *TaskBuilder { b.t.Retry = n; return b }
+
 // Secure runs the task inside the system enclave with sealed I/O.
 func (b *TaskBuilder) Secure() *TaskBuilder { b.t.Req.Secure = true; return b }
 
@@ -791,6 +919,19 @@ type Report struct {
 	SecurityEnergyJ float64
 	// ReplicatedTasks counts DMR-expanded submissions.
 	ReplicatedTasks int
+	// Retries counts task executions re-queued after a crash or a detected
+	// corruption.
+	Retries int
+	// Restores counts completed tasks re-executed because a device loss
+	// invalidated their un-checkpointed outputs.
+	Restores int
+	// Checkpoints counts committed asynchronous checkpoints.
+	Checkpoints int
+	// SDCDetected counts silent corruptions caught by the replica vote.
+	SDCDetected int
+	// SDCSilent counts corruptions that went undetected (the task was not
+	// replicated).
+	SDCSilent int
 	// Energy is the per-device breakdown.
 	Energy *energy.Report
 }

@@ -6,6 +6,7 @@ package legato
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -272,8 +273,8 @@ func TestCancellationMidRun(t *testing.T) {
 		prev = next
 	}
 	_, err = job.Run(ctx)
-	if err != context.Canceled {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrJobCancelled) {
+		t.Fatalf("err = %v, want context.Canceled wrapped with ErrJobCancelled", err)
 	}
 	if job.State() != "cancelled" {
 		t.Fatalf("state = %q, want cancelled", job.State())
@@ -297,8 +298,8 @@ func TestPerJobDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	job.SetTimeout(time.Nanosecond)
-	if _, err := job.Run(context.Background()); err != context.DeadlineExceeded {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	if _, err := job.Run(context.Background()); !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, ErrJobCancelled) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded wrapped with ErrJobCancelled", err)
 	}
 }
 
