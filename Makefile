@@ -11,7 +11,7 @@ vet:
 	$(GO) vet ./...
 
 # errcheck-style pass over the resilience paths: an ignored error return
-# in faults/engine/taskrt fails the build (see cmd/legato-lint).
+# in faults/engine/taskrt/power fails the build (see cmd/legato-lint).
 lint:
 	$(GO) run ./cmd/legato-lint
 
@@ -25,8 +25,8 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark — smoke-checks the experiment
-# harness plus the E11 >= 2x throughput and E12 <= 1.5x inflation gates
-# without a full run.
+# harness plus the E11 >= 2x throughput, E12 <= 1.5x inflation, and
+# E13 power-cap/EDP gates without a full run.
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 

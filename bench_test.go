@@ -219,6 +219,42 @@ func BenchmarkResilientThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPowerCap regenerates E13: the 8-job mixed-width session under a
+// fleet power cap at 60% of nominal peak draw with the pack-and-throttle
+// governor, versus uncapped, plus the placement-policy EDP comparison.
+// Acceptance gates: the capped session's peak draw never exceeds the cap
+// (peak-draw witness), the cap actually bound (power stalls observed),
+// makespan inflation ≤ 1.5×, every job completes, and MinEDP beats MinTime
+// on measured energy-delay product.
+func BenchmarkPowerCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PowerCap(8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CappedPeakW, "peak-draw-W")
+		b.ReportMetric(res.InflationX, "inflation-x")
+		b.ReportMetric(float64(res.PowerStalls), "power-stalls")
+		b.ReportMetric(res.MinEDPEDP/res.MinTimeEDP, "edp-ratio")
+		if res.CapViolated {
+			b.Fatalf("peak draw %.1f W exceeded the %.1f W cap", res.CappedPeakW, res.CapW)
+		}
+		if res.PowerStalls == 0 {
+			b.Fatalf("power cap never bound (0 stalls): the witness is vacuous")
+		}
+		if res.JobsCompleted != res.Jobs {
+			b.Fatalf("only %d/%d jobs completed under the power cap", res.JobsCompleted, res.Jobs)
+		}
+		if res.InflationX > 1.5 {
+			b.Fatalf("makespan inflation %.2fx under the power cap, want <= 1.5x", res.InflationX)
+		}
+		if res.MinEDPEDP > res.MinTimeEDP {
+			b.Fatalf("MinEDP measured EDP %.1f J·s worse than MinTime %.1f J·s",
+				res.MinEDPEDP, res.MinTimeEDP)
+		}
+	}
+}
+
 // BenchmarkSecureOverhead measures the enclave cost profile (software vs
 // SGX) over a sealing-heavy workload (the 10× goal of Sec. VII).
 func BenchmarkSecureOverhead(b *testing.B) {

@@ -123,6 +123,17 @@ func main() {
 	}
 	fmt.Print(experiments.ResilientTable(rs))
 
+	section("E13: fleet power cap and energy-aware placement")
+	pcJobs, pcWorkers := 8, 8
+	if *quick {
+		pcJobs, pcWorkers = 4, 4
+	}
+	pc, err := experiments.PowerCap(pcJobs, pcWorkers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.PowerCapTable(pc))
+
 	section("Ablation: SECDED ECC mitigation for sub-guardband operation")
 	eccRows, err := experiments.ECCMitigation(64<<10, 4)
 	if err != nil {

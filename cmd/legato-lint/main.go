@@ -10,8 +10,9 @@
 //	legato-lint [package-dir ...]
 //
 // With no arguments it scans the resilience paths (internal/faults,
-// internal/engine, internal/taskrt). Test files are skipped; an ignored
-// error in a test is an assertion choice, not a recovery bug.
+// internal/engine, internal/taskrt, internal/power). Test files are
+// skipped; an ignored error in a test is an assertion choice, not a
+// recovery bug.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 	"strings"
 )
 
-var defaultDirs = []string{"internal/faults", "internal/engine", "internal/taskrt"}
+var defaultDirs = []string{"internal/faults", "internal/engine", "internal/taskrt", "internal/power"}
 
 // finding is one ignored error-returning call.
 type finding struct {

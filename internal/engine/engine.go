@@ -34,9 +34,11 @@ import (
 	"sync"
 	"time"
 
+	"legato/internal/energy"
 	"legato/internal/faults"
 	"legato/internal/hw"
 	"legato/internal/monitor"
+	"legato/internal/power"
 	"legato/internal/sim"
 	"legato/internal/taskrt"
 )
@@ -78,6 +80,14 @@ type Config struct {
 	// RetryBackoff is the base re-placement backoff, doubled on every
 	// consecutive failure (default 1ms of virtual time).
 	RetryBackoff sim.Time
+	// PowerCapW bounds the modelled fleet draw (static idle power of every
+	// healthy device plus all granted dynamic task power) in watts; zero or
+	// negative means uncapped. Placements that would breach the cap park on
+	// the power ledger exactly like core-admission stalls.
+	PowerCapW float64
+	// Governor selects how the power ledger reshapes device operating
+	// points under cap pressure (default power.RaceToIdle).
+	Governor power.Kind
 }
 
 // State is a job's lifecycle phase.
@@ -237,6 +247,22 @@ type Stats struct {
 	TasksCompleted int
 	// EnergyJ sums dynamic task energy across all completed jobs.
 	EnergyJ float64
+	// PlatformEnergyJ adds the static (idle) energy of the surviving fleet
+	// over the session makespan to EnergyJ — what the electricity meter
+	// would read, not just the task increments.
+	PlatformEnergyJ float64
+	// AvgPowerW is PlatformEnergyJ over the session makespan.
+	AvgPowerW float64
+	// PowerCapW echoes the configured cap (0 = uncapped).
+	PowerCapW float64
+	// PeakDrawW is the high-water mark of the modelled fleet draw — the
+	// peak-draw witness: never above PowerCapW when a cap is armed.
+	PeakDrawW float64
+	// PowerStalls counts placements refused by the watt budget.
+	PowerStalls uint64
+	// GovernorRescales counts DVFS operating-point changes made by the
+	// governor under cap pressure.
+	GovernorRescales uint64
 	// TotalJobTime is the sum of job makespans — the fleet time serial
 	// submission would need.
 	TotalJobTime sim.Time
@@ -269,6 +295,8 @@ func (s Stats) Speedup() float64 {
 type Engine struct {
 	cfg      Config
 	fleet    *Fleet
+	power    *power.Ledger
+	ref      []*hw.Device
 	injector *faults.Injector // nil without a fault plan
 	queue    chan *Job
 	wg       sync.WaitGroup
@@ -307,12 +335,22 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = time.Millisecond
 	}
+	ledger := power.NewLedger(energy.Watts(cfg.PowerCapW), ref, cfg.Governor)
+	if ledger.Capped() && ledger.Cap() <= ledger.IdleWatts() {
+		// The idle floor alone exhausts the budget: every placement would
+		// park forever, rescuable only by cancellation.
+		return nil, fmt.Errorf("engine: power cap %v W leaves no headroom over the fleet's %v W idle floor",
+			ledger.Cap(), ledger.IdleWatts())
+	}
 	e := &Engine{
 		cfg:   cfg,
 		fleet: NewFleet(ref),
+		power: ledger,
+		ref:   ref,
 		queue: make(chan *Job, cfg.QueueDepth),
 		lanes: make([]sim.Time, cfg.Workers),
 	}
+	e.fleet.AttachPower(e.power)
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		e.injector = faults.NewInjector(*cfg.Faults, e.fleet, ref, cfg.Registry)
 	}
@@ -325,6 +363,10 @@ func New(cfg Config) (*Engine, error) {
 
 // Fleet exposes the shared admission ledger.
 func (e *Engine) Fleet() *Fleet { return e.fleet }
+
+// Power exposes the shared watt ledger (always non-nil; uncapped when no
+// PowerCapW was configured).
+func (e *Engine) Power() *power.Ledger { return e.power }
 
 // Workers reports the pool width.
 func (e *Engine) Workers() int { return e.cfg.Workers }
@@ -340,6 +382,7 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 	}
 	rt := taskrt.New(clock, devs, e.cfg.Policy)
 	rt.SetAdmission(e.fleet)
+	rt.SetPowerAdmission(e.power)
 
 	e.mu.Lock()
 	e.nextID++
@@ -403,9 +446,10 @@ func (e *Engine) wireFaults(j *Job) {
 		return
 	}
 	j.rt.SetRetryPolicy(e.cfg.RetryBudget, e.cfg.RetryBackoff)
-	if sampler := e.injector.Sampler(int64(j.ID)); sampler != nil {
-		j.rt.SetCorruptor(func(rec taskrt.Record) bool { return sampler(rec.Class) })
-	}
+	sampler := e.injector.Sampler(int64(j.ID))
+	j.rt.SetCorruptor(func(rec taskrt.Record) bool {
+		return sampler(rec.Class, power.SDCProbability(rec.Undervolt))
+	})
 	for _, ev := range e.injector.Events() {
 		ev := ev
 		switch ev.Kind {
@@ -531,8 +575,20 @@ func (e *Engine) account(j *Job, res *taskrt.Result, err error) {
 		scope := "job/" + j.Name
 		if res != nil {
 			reg.Set(scope, "makespan-s", sim.ToSeconds(res.Makespan))
+			reg.Set(scope, "energy-total-J", float64(res.EnergyJ))
 		}
 		reg.Set(scope, "fleet-start-s", sim.ToSeconds(start))
+		reg.Set("power", "draw-W", float64(e.power.Draw()))
+		reg.Set("power", "peak-draw-W", float64(e.power.PeakDraw()))
+		reg.Set("power", "idle-W", float64(e.power.IdleWatts()))
+		reg.Set("power", "stalls", float64(e.power.Stalls()))
+		reg.Set("power", "governor-rescales", float64(e.power.Rescales()))
+		if e.power.Capped() {
+			reg.Set("power", "cap-W", float64(e.power.Cap()))
+		}
+		for _, d := range e.ref {
+			reg.Set("device/"+d.ID, "draw-W", float64(e.power.DrawOf(d.ID)))
+		}
 	}
 	j.finish(res, err)
 }
@@ -550,6 +606,17 @@ func (e *Engine) Stats() Stats {
 	s.AdmissionStalls = e.fleet.Stalls()
 	if e.injector != nil {
 		s.DevicesLost = e.injector.Crashes()
+	}
+	if e.power.Capped() {
+		s.PowerCapW = float64(e.power.Cap())
+	}
+	s.PeakDrawW = float64(e.power.PeakDraw())
+	s.PowerStalls = e.power.Stalls()
+	s.GovernorRescales = e.power.Rescales()
+	sec := sim.ToSeconds(s.SessionMakespan)
+	s.PlatformEnergyJ = float64(e.power.IdleWatts())*sec + s.EnergyJ
+	if sec > 0 {
+		s.AvgPowerW = s.PlatformEnergyJ / sec
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"legato/internal/hw"
+	"legato/internal/power"
 )
 
 // Fleet is the shared per-device admission ledger: the one source of truth
@@ -24,6 +25,7 @@ type Fleet struct {
 	lost   map[string]bool // devices failed mid-session
 	gen    chan struct{}   // closed and replaced on every Release
 	stalls uint64          // failed admission attempts (contention signal)
+	power  *power.Ledger   // coupled watt ledger (optional)
 }
 
 // NewFleet builds a ledger from the reference devices; capacity is each
@@ -41,6 +43,16 @@ func NewFleet(devices []*hw.Device) *Fleet {
 		f.free[d.ID] = d.Spec.Cores
 	}
 	return f
+}
+
+// AttachPower couples the watt ledger to the core ledger: fleet events
+// (Fail) are forwarded so the power ledger stops charging a lost device's
+// static draw and releases its outstanding dynamic grants the moment the
+// core ledger zeroes its capacity.
+func (f *Fleet) AttachPower(l *power.Ledger) {
+	f.mu.Lock()
+	f.power = l
+	f.mu.Unlock()
 }
 
 // TryAcquire claims cores on a device; it fails (without blocking) when
@@ -117,11 +129,15 @@ func (f *Fleet) Fail(deviceID string) {
 	f.mu.Lock()
 	alreadyLost := f.lost[deviceID]
 	f.lost[deviceID] = true
+	pw := f.power
 	f.mu.Unlock()
 	if alreadyLost {
 		return
 	}
 	f.SetCapacity(deviceID, 0)
+	if pw != nil {
+		pw.DeviceLost(deviceID)
+	}
 }
 
 // Lost reports whether a device was failed mid-session.

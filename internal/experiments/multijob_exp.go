@@ -22,6 +22,9 @@ type MultiJobRow struct {
 	SessionMakespan sim.Time // fleet time under the greedy lane schedule
 	SpeedupX        float64  // vs the single-worker session of the sweep
 	AdmissionStalls uint64
+	EnergyJ         float64 // platform energy (idle + dynamic) over the session
+	AvgPowerW       float64 // EnergyJ over the session makespan
+	PeakDrawW       float64 // high-water mark of the modelled fleet draw
 }
 
 // cloudFleet builds the standard RECS|BOX device list on the given clock,
@@ -112,6 +115,9 @@ func MultiJob(widths []int, jobs int) ([]MultiJobRow, error) {
 			SessionMakespan: st.SessionMakespan,
 			SpeedupX:        float64(baseline) / float64(st.SessionMakespan),
 			AdmissionStalls: st.AdmissionStalls,
+			EnergyJ:         st.PlatformEnergyJ,
+			AvgPowerW:       st.AvgPowerW,
+			PeakDrawW:       st.PeakDrawW,
 		})
 	}
 	return rows, nil
@@ -120,12 +126,13 @@ func MultiJob(widths []int, jobs int) ([]MultiJobRow, error) {
 // MultiJobTable renders the sweep.
 func MultiJobTable(rows []MultiJobRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-6s %-8s %-14s %-16s %-9s %s\n",
-		"workers", "jobs", "tasks", "job-time-sum", "session-fleet-t", "speedup", "stalls")
+	fmt.Fprintf(&b, "%-8s %-6s %-8s %-14s %-16s %-9s %-8s %-10s %-8s %s\n",
+		"workers", "jobs", "tasks", "job-time-sum", "session-fleet-t", "speedup", "stalls", "energy-J", "avg-W", "peak-W")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8d %-6d %-8d %-14v %-16v %-9.2f %d\n",
+		fmt.Fprintf(&b, "%-8d %-6d %-8d %-14v %-16v %-9.2f %-8d %-10.0f %-8.1f %.1f\n",
 			r.Workers, r.Jobs, r.TasksCompleted, r.TotalJobTime,
-			r.SessionMakespan, r.SpeedupX, r.AdmissionStalls)
+			r.SessionMakespan, r.SpeedupX, r.AdmissionStalls,
+			r.EnergyJ, r.AvgPowerW, r.PeakDrawW)
 	}
 	return b.String()
 }

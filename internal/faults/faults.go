@@ -249,19 +249,20 @@ func (in *Injector) Crashes() int {
 
 // Sampler returns a per-job silent-data-corruption oracle: a deterministic
 // function of (plan seed, stream, class, draw index) suitable for
-// taskrt.SetCorruptor. The returned closure is confined to the owning
-// job's goroutine and must not be shared. Returns nil when the plan has no
-// SDC model.
-func (in *Injector) Sampler(stream int64) func(hw.Class) bool {
-	if len(in.plan.SDC) == 0 {
-		return nil
-	}
+// taskrt.SetCorruptor. extra is an additional per-execution corruption
+// probability on top of the class's base rate — how undervolted operating
+// points (power.SDCProbability) feed the failure model: a crash-only plan
+// still exposes undervolt risk. The returned closure is confined to the
+// owning job's goroutine and must not be shared. A class absent from the
+// SDC model with zero extra consumes no random draw, so adding undervolted
+// tasks does not perturb the timeline of guardband ones.
+func (in *Injector) Sampler(stream int64) func(c hw.Class, extra float64) bool {
 	r := rand.New(rand.NewSource(in.plan.Seed ^ (stream+1)*0x5851f42d4c957f2d))
 	sdc := in.plan.SDC
 	reg := in.reg
-	return func(c hw.Class) bool {
-		p, ok := sdc[c]
-		if !ok || p <= 0 {
+	return func(c hw.Class, extra float64) bool {
+		p := sdc[c] + extra
+		if p <= 0 {
 			return false
 		}
 		hit := r.Float64() < p

@@ -203,18 +203,27 @@ func TestSamplerDeterministic(t *testing.T) {
 		t.Fatal("sampler nil despite SDC model")
 	}
 	for i := 0; i < 64; i++ {
-		if a(hw.FPGA) != b(hw.FPGA) {
+		if a(hw.FPGA, 0) != b(hw.FPGA, 0) {
 			t.Fatalf("stream diverged at draw %d", i)
 		}
-		if a(hw.CPUx86) || b(hw.CPUx86) {
+		if a(hw.CPUx86, 0) || b(hw.CPUx86, 0) {
 			t.Fatal("class absent from SDC model reported corruption")
 		}
 	}
 	if s := mk().Sampler(4); s == nil {
 		t.Fatal("second stream nil")
 	}
+	// A crash-only plan still arms the sampler: the extra probability
+	// (undervolt SDC risk) must be able to fire without a class SDC model.
 	noSDC := Plan{MTBF: ft.MTBFModel{hw.CPUx86: 1}, Seed: 11}
-	if NewInjector(noSDC, fleet, devs, nil).Sampler(0) != nil {
-		t.Fatal("sampler non-nil without an SDC model")
+	s := NewInjector(noSDC, fleet, devs, nil).Sampler(0)
+	if s == nil {
+		t.Fatal("sampler nil for a crash-only plan")
+	}
+	if s(hw.CPUx86, 0) {
+		t.Fatal("zero-extra draw fired without an SDC model")
+	}
+	if !s(hw.CPUx86, 1) {
+		t.Fatal("extra=1 draw did not fire")
 	}
 }

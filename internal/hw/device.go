@@ -139,6 +139,15 @@ func (d *Device) State() DVFSState {
 	return d.Spec.States[d.stateIdx]
 }
 
+// StateIndex returns the index of the current DVFS state in Spec.States
+// (0 for devices without explicit states).
+func (d *Device) StateIndex() int {
+	if len(d.Spec.States) == 0 {
+		return 0
+	}
+	return d.stateIdx
+}
+
 // SetState selects DVFS state i (index into Spec.States).
 func (d *Device) SetState(i int) error {
 	if i < 0 || i >= len(d.Spec.States) {
@@ -213,6 +222,17 @@ func (d *Device) updatePower() {
 	}
 	dynamic := (d.Spec.PeakWatts - d.Spec.IdleWatts) * d.Utilization() * d.powerScale()
 	d.meter.SetPower(d.Spec.IdleWatts + dynamic)
+}
+
+// DynamicWatts returns the incremental draw of keeping n cores busy at the
+// current DVFS state, excluding idle power — the quantity a fleet power-cap
+// ledger charges for a placement.
+func (d *Device) DynamicWatts(n int) energy.Watts {
+	if d.Spec.Cores == 0 {
+		return 0
+	}
+	perCore := (d.Spec.PeakWatts - d.Spec.IdleWatts) / float64(d.Spec.Cores)
+	return perCore * float64(n) * d.powerScale()
 }
 
 // ExecTime returns the duration for `gops` giga-operations using n cores at

@@ -1,0 +1,223 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"legato/internal/energy"
+	"legato/internal/hw"
+	"legato/internal/sim"
+)
+
+func testDevices(t *testing.T) []*hw.Device {
+	t.Helper()
+	se := sim.NewEngine()
+	specA := hw.Spec{
+		Name: "cpu", Class: hw.CPUx86, Cores: 8, GOPS: 100,
+		IdleWatts: 10, PeakWatts: 50,
+		States: []hw.DVFSState{
+			{Name: "nominal", FreqGHz: 2.0, Voltage: 1.0},
+			{Name: "eco", FreqGHz: 1.0, Voltage: 0.8},
+		},
+	}
+	specB := hw.Spec{
+		Name: "fpga", Class: hw.FPGA, Cores: 4, GOPS: 200,
+		IdleWatts: 5, PeakWatts: 25,
+	}
+	return []*hw.Device{
+		hw.NewDevice(se, "cpu0", specA),
+		hw.NewDevice(se, "fpga0", specB),
+	}
+}
+
+func TestLadderFor(t *testing.T) {
+	devs := testDevices(t)
+	l := LadderFor("cpu0", devs[0].Spec)
+	if len(l.Points) != 2 {
+		t.Fatalf("ladder has %d points, want 2", len(l.Points))
+	}
+	nom := l.Points[0]
+	if nom.SpeedScale != 1 || nom.PowerScale != 1 {
+		t.Fatalf("nominal point scales = (%v, %v), want (1, 1)", nom.SpeedScale, nom.PowerScale)
+	}
+	eco := l.Points[1]
+	if eco.SpeedScale != 0.5 {
+		t.Fatalf("eco speed scale = %v, want 0.5 (1.0/2.0 GHz)", eco.SpeedScale)
+	}
+	// f·V² scaling: 0.5 × 0.8².
+	if math.Abs(eco.PowerScale-0.5*0.64) > 1e-12 {
+		t.Fatalf("eco power scale = %v, want 0.32", eco.PowerScale)
+	}
+	// A spec without explicit states resolves to a single nominal point.
+	fl := LadderFor("fpga0", devs[1].Spec)
+	if len(fl.Points) != 1 || fl.Points[0].SpeedScale != 1 {
+		t.Fatalf("stateless spec ladder = %+v, want one nominal point", fl.Points)
+	}
+}
+
+func TestUndervoltModel(t *testing.T) {
+	if UndervoltVoltageScale(0) != 1 || UndervoltPowerScale(0) != 1 || SDCProbability(0) != 0 {
+		t.Fatal("guardband level must be free of both savings and risk")
+	}
+	for lvl := 1; lvl <= MaxUndervolt; lvl++ {
+		v := UndervoltVoltageScale(lvl)
+		if v >= UndervoltVoltageScale(lvl-1) {
+			t.Fatalf("voltage scale not decreasing at level %d", lvl)
+		}
+		if got, want := UndervoltPowerScale(lvl), v*v; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("power scale at level %d = %v, want v² = %v", lvl, got, want)
+		}
+		if SDCProbability(lvl) <= SDCProbability(lvl-1) {
+			t.Fatalf("SDC probability not increasing at level %d", lvl)
+		}
+	}
+	// Levels beyond the maximum clamp rather than extrapolate.
+	if SDCProbability(MaxUndervolt+5) != SDCProbability(MaxUndervolt) {
+		t.Fatal("SDC probability not clamped above MaxUndervolt")
+	}
+	if UndervoltPowerScale(MaxUndervolt+5) != UndervoltPowerScale(MaxUndervolt) {
+		t.Fatal("power scale not clamped above MaxUndervolt")
+	}
+}
+
+func TestLedgerCapWitness(t *testing.T) {
+	devs := testDevices(t) // idle 10 + 5 = 15 W
+	l := NewLedger(40, devs, RaceToIdle)
+	if got := l.Draw(); got != 15 {
+		t.Fatalf("initial draw = %v, want the 15 W idle floor", got)
+	}
+	if !l.TryDraw("cpu0", 20) {
+		t.Fatal("draw within cap refused")
+	}
+	// 15 + 20 + 10 > 40: must refuse and count a stall.
+	if l.TryDraw("fpga0", 10) {
+		t.Fatal("draw over cap granted")
+	}
+	if l.Stalls() != 1 {
+		t.Fatalf("stalls = %d, want 1", l.Stalls())
+	}
+	if l.TryDraw("fpga0", 5) != true {
+		t.Fatal("draw exactly at cap refused")
+	}
+	if got := l.PeakDraw(); got != 40 {
+		t.Fatalf("peak draw = %v, want 40", got)
+	}
+	if l.PeakDraw() > l.Cap() {
+		t.Fatal("peak-draw witness violated")
+	}
+	l.ReleaseDraw("cpu0", 20)
+	l.ReleaseDraw("fpga0", 5)
+	if got := l.Draw(); got != 15 {
+		t.Fatalf("draw after release = %v, want 15", got)
+	}
+	// RaceToIdle never reshapes operating points.
+	if l.Rescales() != 0 || l.OperatingPoint("cpu0") != 0 {
+		t.Fatal("race-to-idle governor rescaled a device")
+	}
+}
+
+func TestLedgerUncapped(t *testing.T) {
+	devs := testDevices(t)
+	l := NewLedger(0, devs, RaceToIdle)
+	if l.Capped() {
+		t.Fatal("zero cap must mean uncapped")
+	}
+	if !l.TryDraw("cpu0", 1e9) {
+		t.Fatal("uncapped ledger refused a draw")
+	}
+}
+
+func TestLedgerWakeOnRelease(t *testing.T) {
+	devs := testDevices(t)
+	l := NewLedger(40, devs, RaceToIdle)
+	if !l.TryDraw("cpu0", 25) {
+		t.Fatal("draw refused")
+	}
+	ch := l.Changed()
+	select {
+	case <-ch:
+		t.Fatal("generation channel closed early")
+	default:
+	}
+	l.ReleaseDraw("cpu0", 25)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("release did not wake the generation channel")
+	}
+}
+
+func TestLedgerDeviceLost(t *testing.T) {
+	devs := testDevices(t)
+	l := NewLedger(40, devs, RaceToIdle)
+	if !l.TryDraw("cpu0", 20) {
+		t.Fatal("draw refused")
+	}
+	ch := l.Changed()
+	l.DeviceLost("cpu0")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("device loss did not wake parked jobs")
+	}
+	// Idle (10) and granted dynamic (20) both released: only fpga idle left.
+	if got := l.Draw(); got != 5 {
+		t.Fatalf("draw after loss = %v, want 5", got)
+	}
+	if !l.Lost("cpu0") || l.DrawOf("cpu0") != 0 {
+		t.Fatal("lost device still charged")
+	}
+	// Late revocations (jobs crossing the crash on private clocks) must not
+	// double-release.
+	l.ReleaseDraw("cpu0", 20)
+	if got := l.Draw(); got != 5 {
+		t.Fatalf("draw after late release = %v, want 5 (no double release)", got)
+	}
+	if l.TryDraw("cpu0", 1) {
+		t.Fatal("draw granted on a lost device")
+	}
+	// A second loss of the same device is a no-op.
+	l.DeviceLost("cpu0")
+	if got := l.Draw(); got != 5 {
+		t.Fatalf("draw after repeated loss = %v, want 5", got)
+	}
+}
+
+func TestPackAndThrottleGovernor(t *testing.T) {
+	devs := testDevices(t)
+	l := NewLedger(40, devs, PackAndThrottle)
+	if !l.TryDraw("cpu0", 24) {
+		t.Fatal("draw refused")
+	}
+	// Refusal steps the target device down its ladder.
+	if l.TryDraw("cpu0", 10) {
+		t.Fatal("draw over cap granted")
+	}
+	if l.OperatingPoint("cpu0") != 1 {
+		t.Fatalf("cpu0 operating point = %d after refusal, want 1 (eco)", l.OperatingPoint("cpu0"))
+	}
+	if l.Rescales() != 1 {
+		t.Fatalf("rescales = %d, want 1", l.Rescales())
+	}
+	// The fpga has no lower rung, so a refusal on it throttles the
+	// hungriest throttleable sibling — but cpu0 is already at its floor,
+	// so the ladder stays put.
+	if l.TryDraw("fpga0", 10) {
+		t.Fatal("draw over cap granted")
+	}
+	if l.OperatingPoint("fpga0") != 0 {
+		t.Fatal("stateless device was stepped below its only point")
+	}
+	// Releasing far below the 70% hysteresis threshold steps cpu0 back up.
+	l.ReleaseDraw("cpu0", 24)
+	if l.OperatingPoint("cpu0") != 0 {
+		t.Fatalf("cpu0 operating point = %d after relaxation, want 0 (nominal)", l.OperatingPoint("cpu0"))
+	}
+}
+
+func TestFleetPeakWatts(t *testing.T) {
+	devs := testDevices(t)
+	if got := FleetPeakWatts(devs); got != energy.Watts(75) {
+		t.Fatalf("fleet peak = %v, want 75 (50 + 25)", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"legato/internal/energy"
 	"legato/internal/hw"
+	"legato/internal/power"
 	"legato/internal/sim"
 )
 
@@ -60,6 +61,22 @@ type Admission interface {
 	Release(deviceID string, cores int)
 	Changed() <-chan struct{}
 	Capacity(deviceID string) int
+}
+
+// PowerAdmission arbitrates the fleet watt budget between runtimes, the
+// power sibling of Admission: before a task may start, its dynamic draw
+// must fit under the shared power cap on top of the fleet's static draw.
+// A refused TryDraw parks the job on Changed exactly like a core-admission
+// stall. OperatingPoint exposes the governor's current DVFS prescription
+// for a device; the runtime applies it to its platform mirror before
+// scoring, so throttling reshapes both execution time and draw.
+// power.Ledger implements this; implementations must be safe for
+// concurrent use.
+type PowerAdmission interface {
+	TryDraw(deviceID string, watts energy.Watts) bool
+	ReleaseDraw(deviceID string, watts energy.Watts)
+	Changed() <-chan struct{}
+	OperatingPoint(deviceID string) int
 }
 
 // Hooks observe the task lifecycle. Hooks registered with AddHooks are
@@ -129,6 +146,11 @@ type Task struct {
 	// Retry is the per-task failure attempt budget (extra executions after
 	// a crash or detected corruption); zero uses the runtime default.
 	Retry int
+	// Undervolt runs the task below the operating point's voltage by the
+	// given level (1..power.MaxUndervolt): dynamic draw and energy shrink
+	// quadratically, while power.SDCProbability(level) is added to the
+	// task's silent-corruption risk when a fault plan is armed.
+	Undervolt int
 	// Fn runs at completion time (simulated); may be nil.
 	Fn func()
 }
@@ -143,9 +165,10 @@ type node struct {
 	done    bool
 	started bool
 
-	attempts  int        // failed executions so far (crash/sdc)
-	persisted bool       // output captured by a committed checkpoint
-	handle    sim.Handle // completion event while running
+	attempts  int          // failed executions so far (crash/sdc)
+	persisted bool         // output captured by a committed checkpoint
+	handle    sim.Handle   // completion event while running
+	grantW    energy.Watts // watt grant held while running (power ledger)
 
 	record Record
 }
@@ -160,6 +183,10 @@ type Record struct {
 	End      sim.Time
 	EnergyJ  energy.Joules
 	Critical bool
+	// Undervolt is the task's undervolt level (0 = guardband).
+	Undervolt int
+	// DrawW is the dynamic draw the execution held while running.
+	DrawW energy.Watts
 	// Attempts counts executions of the task (1 = first try succeeded).
 	Attempts int
 	// Corrupted marks a silent data corruption that went undetected (the
@@ -205,9 +232,11 @@ type Runtime struct {
 	inDAG  int // submitted, not finished
 
 	adm     Admission      // nil: sole owner of its devices
+	pow     PowerAdmission // nil: no fleet watt budget
 	hooks   []Hooks
-	held    map[string]int // admission grants currently held, by device ID
-	blocked bool           // a ready task lost admission this dispatch round
+	held    map[string]int          // admission grants currently held, by device ID
+	heldW   map[string]energy.Watts // watt grants currently held, by device ID
+	blocked bool                    // a ready task lost admission this dispatch round
 
 	// Resilience state.
 	running      map[*node]struct{}
@@ -236,6 +265,7 @@ func New(eng *sim.Engine, devices []*hw.Device, policy Policy) *Runtime {
 	return &Runtime{
 		eng: eng, devices: devices, policy: policy,
 		held:         make(map[string]int),
+		heldW:        make(map[string]energy.Watts),
 		running:      make(map[*node]struct{}),
 		retryBackoff: time.Millisecond,
 	}
@@ -245,6 +275,11 @@ func New(eng *sim.Engine, devices []*hw.Device, policy Policy) *Runtime {
 // first Submit. With no admission the runtime assumes exclusive ownership
 // of its devices, which is the historical single-tenant behaviour.
 func (r *Runtime) SetAdmission(a Admission) { r.adm = a }
+
+// SetPowerAdmission installs the shared fleet watt ledger. Must be called
+// before the first Submit. With no power admission placements are gated by
+// core capacity alone — the historical behaviour.
+func (r *Runtime) SetPowerAdmission(p PowerAdmission) { r.pow = p }
 
 // SetRetryPolicy sets the default failure attempt budget (extra executions
 // after a crash or detected corruption; Task.Retry overrides per task) and
@@ -304,9 +339,13 @@ func (r *Runtime) Submit(t Task) error {
 	if t.Gops < 0 {
 		return fmt.Errorf("taskrt: task %q has negative cost", t.Name)
 	}
+	if t.Undervolt < 0 || t.Undervolt > power.MaxUndervolt {
+		return fmt.Errorf("taskrt: task %q undervolt level %d outside [0, %d]",
+			t.Name, t.Undervolt, power.MaxUndervolt)
+	}
 	n := &node{task: t, id: r.nextID}
 	r.nextID++
-	n.record = Record{ID: n.id, Name: t.Name, Critical: t.Critical}
+	n.record = Record{ID: n.id, Name: t.Name, Critical: t.Critical, Undervolt: t.Undervolt}
 
 	addEdge := func(from *node) {
 		if from == nil || from.done {
@@ -423,7 +462,7 @@ func (r *Runtime) score(t Task, dev *hw.Device) (float64, bool) {
 		return 0, false
 	}
 	execSec := sim.ToSeconds(dev.ExecTime(t.Gops, t.Cores))
-	energyJ := dev.EnergyFor(t.Gops, t.Cores)
+	energyJ := dev.EnergyFor(t.Gops, t.Cores) * power.UndervoltPowerScale(t.Undervolt)
 	switch r.policy {
 	case MinEnergy:
 		return energyJ, true
@@ -434,8 +473,35 @@ func (r *Runtime) score(t Task, dev *hw.Device) (float64, bool) {
 	}
 }
 
+// applyOperatingPoints syncs the platform mirror to the governor's current
+// DVFS prescription, so scoring, execution time and draw all see the
+// throttled (or restored) operating points. Tasks already executing keep
+// the span and energy they were scheduled with; only new placements are
+// reshaped — the DVFS transition model.
+func (r *Runtime) applyOperatingPoints() {
+	if r.pow == nil {
+		return
+	}
+	for _, dev := range r.devices {
+		if p := r.pow.OperatingPoint(dev.ID); p != dev.StateIndex() {
+			if err := dev.SetState(p); err != nil {
+				// A mirror with fewer states than the reference ladder is a
+				// construction bug; stay at the current point.
+				continue
+			}
+		}
+	}
+}
+
+// taskDrawW is the dynamic draw a task would hold on dev at its current
+// operating point, shrunk by the task's undervolt level.
+func taskDrawW(t Task, dev *hw.Device) energy.Watts {
+	return dev.DynamicWatts(t.Cores) * power.UndervoltPowerScale(t.Undervolt)
+}
+
 // dispatch assigns as many ready tasks as possible.
 func (r *Runtime) dispatch() {
+	r.applyOperatingPoints()
 	for {
 		assigned := false
 		for qi := 0; qi < len(r.ready); qi++ {
@@ -464,8 +530,24 @@ func (r *Runtime) dispatch() {
 				r.blocked = true
 				continue
 			}
+			watts := energy.Watts(0)
+			if r.pow != nil {
+				watts = taskDrawW(n.task, dev)
+				if !r.pow.TryDraw(dev.ID, watts) {
+					// The placement fits the core budget but not the watt
+					// budget: give the cores back and park. A PackAndThrottle
+					// governor may have stepped the device down, so the next
+					// dispatch round re-scores at the cheaper point.
+					if r.adm != nil {
+						r.adm.Release(dev.ID, n.task.Cores)
+					}
+					r.blocked = true
+					r.applyOperatingPoints()
+					continue
+				}
+			}
 			r.ready = append(r.ready[:qi], r.ready[qi+1:]...)
-			r.start(n, dev)
+			r.start(n, dev, watts)
 			assigned = true
 			break
 		}
@@ -476,13 +558,16 @@ func (r *Runtime) dispatch() {
 }
 
 // start runs n on dev. The caller has already won global admission for the
-// task's cores when a shared ledger is installed.
-func (r *Runtime) start(n *node, dev *hw.Device) {
+// task's cores (and watts of draw) when shared ledgers are installed.
+func (r *Runtime) start(n *node, dev *hw.Device, watts energy.Watts) {
 	t := n.task
 	if err := dev.Acquire(t.Cores); err != nil {
 		// Raced with another assignment; requeue and give back admission.
 		if r.adm != nil {
 			r.adm.Release(dev.ID, t.Cores)
+		}
+		if r.pow != nil {
+			r.pow.ReleaseDraw(dev.ID, watts)
 		}
 		r.enqueue(n)
 		return
@@ -490,11 +575,16 @@ func (r *Runtime) start(n *node, dev *hw.Device) {
 	if r.adm != nil {
 		r.held[dev.ID] += t.Cores
 	}
+	if r.pow != nil {
+		r.heldW[dev.ID] += watts
+		n.grantW = watts
+	}
 	n.started = true
 	n.record.Device = dev.ID
 	n.record.Class = dev.Spec.Class
 	n.record.Start = r.eng.Now()
-	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores)
+	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores) * power.UndervoltPowerScale(t.Undervolt)
+	n.record.DrawW = taskDrawW(t, dev)
 	n.record.Attempts++
 	r.running[n] = struct{}{}
 	for _, h := range r.hooks {
@@ -516,6 +606,11 @@ func (r *Runtime) complete(n *node, dev *hw.Device) {
 	if r.adm != nil {
 		r.held[dev.ID] -= t.Cores
 		r.adm.Release(dev.ID, t.Cores)
+	}
+	if r.pow != nil {
+		r.heldW[dev.ID] -= n.grantW
+		r.pow.ReleaseDraw(dev.ID, n.grantW)
+		n.grantW = 0
 	}
 	n.record.End = r.eng.Now()
 	if r.corrupt != nil && r.corrupt(n.record) {
@@ -685,6 +780,11 @@ func (r *Runtime) FailDevice(id string) (revoked, restored int) {
 			r.held[id] -= n.task.Cores
 			r.adm.Release(id, n.task.Cores)
 		}
+		if r.pow != nil {
+			r.heldW[id] -= n.grantW
+			r.pow.ReleaseDraw(id, n.grantW)
+			n.grantW = 0
+		}
 		n.started = false
 		revoked++
 		r.retry(n, "crash")
@@ -824,12 +924,16 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 		if r.failErr != nil {
 			return abort(r.failErr)
 		}
-		// Grab the change channel before dispatching: a release that races
-		// with a failed TryAcquire below closes this very channel, so the
-		// park cannot miss the wakeup.
-		var changed <-chan struct{}
+		// Grab the change channels before dispatching: a release that races
+		// with a failed TryAcquire/TryDraw below closes these very channels,
+		// so the park cannot miss the wakeup. A nil channel blocks forever
+		// in the select, which is exactly right for an absent ledger.
+		var changed, powChanged <-chan struct{}
 		if r.adm != nil {
 			changed = r.adm.Changed()
+		}
+		if r.pow != nil {
+			powChanged = r.pow.Changed()
 		}
 		r.blocked = false
 		r.dispatch()
@@ -837,14 +941,15 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 			continue
 		}
 		// Event queue drained: either the graph is done, or progress needs
-		// capacity currently owned by a sibling job, or no device can ever
-		// host a leftover task.
+		// capacity (cores or watts) currently owned by a sibling job, or no
+		// device can ever host a leftover task.
 		if r.inDAG == 0 {
 			break
 		}
-		if r.blocked && r.adm != nil {
+		if r.blocked && (r.adm != nil || r.pow != nil) {
 			select {
 			case <-changed:
+			case <-powChanged:
 			case <-ctx.Done():
 				return abort(ctx.Err())
 			}
@@ -896,16 +1001,24 @@ func (r *Runtime) stuckErr(n *node) error {
 	return fmt.Errorf("taskrt: task %q never ran: %w", n.task.Name, ErrNoDevice)
 }
 
-// releaseHeld returns every admission grant still held by in-flight tasks,
-// so a cancelled job cannot strand fleet capacity.
+// releaseHeld returns every admission grant — cores and watts — still held
+// by in-flight tasks, so a cancelled job cannot strand fleet capacity or
+// watt budget.
 func (r *Runtime) releaseHeld() {
-	if r.adm == nil {
-		return
-	}
-	for id, n := range r.held {
-		if n > 0 {
-			r.adm.Release(id, n)
+	if r.adm != nil {
+		for id, n := range r.held {
+			if n > 0 {
+				r.adm.Release(id, n)
+			}
+			delete(r.held, id)
 		}
-		delete(r.held, id)
+	}
+	if r.pow != nil {
+		for id, w := range r.heldW {
+			if w > 0 {
+				r.pow.ReleaseDraw(id, w)
+			}
+			delete(r.heldW, id)
+		}
 	}
 }

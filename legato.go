@@ -53,6 +53,7 @@ import (
 	"legato/internal/hw"
 	"legato/internal/middleware"
 	"legato/internal/monitor"
+	"legato/internal/power"
 	"legato/internal/secure"
 	"legato/internal/sim"
 	"legato/internal/taskrt"
@@ -93,6 +94,24 @@ const (
 	MinEDP = taskrt.MinEDP
 )
 
+// Governor re-exports the power-governor policies reshaping device
+// operating points under a fleet power cap.
+type Governor = power.Kind
+
+// Governor policies.
+const (
+	// RaceToIdle keeps devices at nominal frequency; under cap pressure
+	// jobs park until siblings release draw (run fast, idle long).
+	RaceToIdle = power.RaceToIdle
+	// PackAndThrottle steps devices down their DVFS ladder under cap
+	// pressure, fitting more concurrent tasks at lower per-task power.
+	PackAndThrottle = power.PackAndThrottle
+)
+
+// MaxUndervolt is the deepest per-task undervolt level accepted by
+// TaskBuilder.Undervolt.
+const MaxUndervolt = power.MaxUndervolt
+
 // PlatformKind selects the hardware substrate.
 type PlatformKind int
 
@@ -109,12 +128,14 @@ const devRootKey = "legato-development-root-key-0000"
 
 // settings is the resolved configuration of a System.
 type settings struct {
-	platform PlatformKind
-	policy   Policy
-	tee      secure.TEEKind
-	rootKey  []byte
-	workers  int
-	faults   *faults.Plan
+	platform  PlatformKind
+	policy    Policy
+	tee       secure.TEEKind
+	rootKey   []byte
+	workers   int
+	faults    *faults.Plan
+	powerCapW float64
+	governor  Governor
 }
 
 func defaultSettings() settings {
@@ -189,6 +210,22 @@ func WithFaults(p faults.Plan) Option {
 	})
 }
 
+// WithPowerCap arms the session with a fleet-wide power cap in watts: the
+// modelled draw (static idle power of every healthy device plus all
+// granted dynamic task power) never exceeds it. Placements that would
+// breach the cap park until siblings release draw — or, under the
+// PackAndThrottle governor, until devices are stepped down their DVFS
+// ladders. Zero or negative disarms the cap.
+func WithPowerCap(watts float64) Option {
+	return optionFunc(func(s *settings) { s.powerCapW = watts })
+}
+
+// WithGovernor selects the power-governor policy applied under cap
+// pressure (default RaceToIdle).
+func WithGovernor(g Governor) Option {
+	return optionFunc(func(s *settings) { s.governor = g })
+}
+
 // Config parametrises a System.
 //
 // Deprecated: Config is the legacy all-in-one option; it implements Option
@@ -255,6 +292,11 @@ type Task struct {
 	// (extra executions after a crash or detected corruption); zero uses
 	// the engine default.
 	Retry int
+	// Undervolt runs the task below the vendor voltage guardband
+	// (0 = guardband, up to MaxUndervolt): dynamic power drops
+	// quadratically in voltage, at an exponentially growing silent-data-
+	// corruption probability fed to the fault model (paper Sec. III).
+	Undervolt int
 	// Fn runs at completion.
 	Fn func()
 	// Req are the non-functional requirements.
@@ -338,9 +380,11 @@ func NewSystem(opts ...Option) (*System, error) {
 			_, _, devices, err := buildPlatform(set.platform, je)
 			return devices, err
 		},
-		Fleet:    fleet,
-		Registry: s.reg,
-		Faults:   set.faults,
+		Fleet:     fleet,
+		Registry:  s.reg,
+		Faults:    set.faults,
+		PowerCapW: set.powerCapW,
+		Governor:  set.governor,
 	})
 	if err != nil {
 		return nil, err
@@ -402,32 +446,57 @@ type SessionStats struct {
 	Checkpoints int
 	// DevicesLost counts devices crashed by the failure process.
 	DevicesLost int
+	// PlatformEnergyJ adds the static (idle) energy of the surviving fleet
+	// over the session makespan to EnergyJ.
+	PlatformEnergyJ float64
+	// AvgPowerW is PlatformEnergyJ over the session makespan.
+	AvgPowerW float64
+	// PowerCapW echoes the configured fleet power cap (0 = uncapped).
+	PowerCapW float64
+	// PeakDrawW is the high-water mark of the modelled fleet draw — never
+	// above PowerCapW when a cap is armed (the peak-draw witness).
+	PeakDrawW float64
+	// PowerStalls counts placements refused by the watt budget.
+	PowerStalls uint64
+	// GovernorRescales counts governor DVFS operating-point changes.
+	GovernorRescales uint64
 }
 
 // Stats snapshots the engine session counters.
 func (s *System) Stats() SessionStats {
 	st := s.eng.Stats()
 	return SessionStats{
-		JobsSubmitted:   st.JobsSubmitted,
-		JobsCompleted:   st.JobsCompleted,
-		JobsFailed:      st.JobsFailed,
-		JobsCancelled:   st.JobsCancelled,
-		TasksCompleted:  st.TasksCompleted,
-		EnergyJ:         st.EnergyJ,
-		TotalJobTime:    st.TotalJobTime,
-		SessionMakespan: st.SessionMakespan,
-		Speedup:         st.Speedup(),
-		AdmissionStalls: st.AdmissionStalls,
-		TasksRetried:    st.TasksRetried,
-		TasksRestored:   st.TasksRestored,
-		Checkpoints:     st.Checkpoints,
-		DevicesLost:     st.DevicesLost,
+		JobsSubmitted:    st.JobsSubmitted,
+		JobsCompleted:    st.JobsCompleted,
+		JobsFailed:       st.JobsFailed,
+		JobsCancelled:    st.JobsCancelled,
+		TasksCompleted:   st.TasksCompleted,
+		EnergyJ:          st.EnergyJ,
+		TotalJobTime:     st.TotalJobTime,
+		SessionMakespan:  st.SessionMakespan,
+		Speedup:          st.Speedup(),
+		AdmissionStalls:  st.AdmissionStalls,
+		TasksRetried:     st.TasksRetried,
+		TasksRestored:    st.TasksRestored,
+		Checkpoints:      st.Checkpoints,
+		DevicesLost:      st.DevicesLost,
+		PlatformEnergyJ:  st.PlatformEnergyJ,
+		AvgPowerW:        st.AvgPowerW,
+		PowerCapW:        st.PowerCapW,
+		PeakDrawW:        st.PeakDrawW,
+		PowerStalls:      st.PowerStalls,
+		GovernorRescales: st.GovernorRescales,
 	}
 }
 
 // Fleet exposes the shared admission ledger (capacity, in-use, peak and
 // loss state per device).
 func (s *System) Fleet() *engine.Fleet { return s.eng.Fleet() }
+
+// Power exposes the shared watt ledger (cap, draw, peak-draw witness,
+// governor operating points). Always non-nil; uncapped without
+// WithPowerCap.
+func (s *System) Power() *power.Ledger { return s.eng.Power() }
 
 // Close stops accepting jobs and drains the engine; queued jobs still run.
 // If ctx fires first, outstanding jobs are cancelled.
@@ -508,19 +577,19 @@ func (s *System) NewJob(name string) (*Job, error) {
 		},
 		Retried: func(task string, attempt int, reason string, at sim.Time) {
 			j.tracer.Add(trace.Span{
-				Name: fmt.Sprintf("%s#retry%d(%s)", task, attempt, reason),
+				Name:     fmt.Sprintf("%s#retry%d(%s)", task, attempt, reason),
 				Category: "failure", Resource: task, Start: at, End: at,
 			})
 		},
 		DeviceLost: func(deviceID string, revoked, restored int, at sim.Time) {
 			j.tracer.Add(trace.Span{
-				Name: fmt.Sprintf("crash(%s) revoked=%d restored=%d", deviceID, revoked, restored),
+				Name:     fmt.Sprintf("crash(%s) revoked=%d restored=%d", deviceID, revoked, restored),
 				Category: "failure", Resource: deviceID, Start: at, End: at,
 			})
 		},
 		Checkpointed: func(tasks int, bytes int64, start, end sim.Time) {
 			j.tracer.Add(trace.Span{
-				Name: fmt.Sprintf("ckpt tasks=%d bytes=%d", tasks, bytes),
+				Name:     fmt.Sprintf("ckpt tasks=%d bytes=%d", tasks, bytes),
 				Category: "checkpoint", Resource: name, Start: start, End: end,
 			})
 		},
@@ -682,7 +751,8 @@ func (j *Job) submitLocked(t Task) error {
 		return rt.Submit(taskrt.Task{
 			Name: t.Name, Gops: t.Gops, Cores: cores, Targets: t.Targets,
 			In: ins, Out: outs, InOut: inouts,
-			Priority: t.Priority, Critical: false, Retry: t.Retry, Fn: fn,
+			Priority: t.Priority, Critical: false, Retry: t.Retry,
+			Undervolt: t.Undervolt, Fn: fn,
 		})
 	}
 
@@ -699,7 +769,8 @@ func (j *Job) submitLocked(t Task) error {
 	if err := rt.Submit(taskrt.Task{
 		Name: t.Name + "#a", Gops: t.Gops, Cores: cores, Targets: targetA,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowA},
-		Priority: t.Priority, Critical: true, Retry: t.Retry, Fn: fn,
+		Priority: t.Priority, Critical: true, Retry: t.Retry,
+		Undervolt: t.Undervolt, Fn: fn,
 	}); err != nil {
 		return err
 	}
@@ -707,6 +778,7 @@ func (j *Job) submitLocked(t Task) error {
 		Name: t.Name + "#b", Gops: t.Gops, Cores: cores, Targets: targetB,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowB},
 		Priority: t.Priority, Critical: true, Retry: t.Retry,
+		Undervolt: t.Undervolt,
 	}); err != nil {
 		return err
 	}
@@ -811,6 +883,10 @@ func (j *Job) buildReport(res *taskrt.Result) {
 		rep.Energy.Add(d.ID, d.Meter().Energy())
 		rep.PlatformEnergyJ += d.Meter().Energy()
 	}
+	if sec := sim.ToSeconds(res.Makespan); sec > 0 {
+		rep.EDPJs = rep.TaskEnergyJ * sec
+		rep.AvgPowerW = rep.PlatformEnergyJ / sec
+	}
 	j.report = rep
 	j.tracer.Count("jobs", 1)
 	j.sys.tracer.Merge(j.tracer)
@@ -890,6 +966,13 @@ func (b *TaskBuilder) InOut(hs ...DataHandle) *TaskBuilder {
 // engine default.
 func (b *TaskBuilder) Retry(n int) *TaskBuilder { b.t.Retry = n; return b }
 
+// Undervolt runs the task below the vendor voltage guardband at the given
+// level (1..MaxUndervolt): dynamic power drops quadratically in voltage,
+// at an exponentially growing silent-data-corruption probability fed to
+// the fault model. Pair deep levels with Replicated so the vote catches
+// what the guardband no longer does.
+func (b *TaskBuilder) Undervolt(level int) *TaskBuilder { b.t.Undervolt = level; return b }
+
 // Secure runs the task inside the system enclave with sealed I/O.
 func (b *TaskBuilder) Secure() *TaskBuilder { b.t.Req.Secure = true; return b }
 
@@ -932,6 +1015,11 @@ type Report struct {
 	// SDCSilent counts corruptions that went undetected (the task was not
 	// replicated).
 	SDCSilent int
+	// EDPJs is the job's energy-delay product: TaskEnergyJ × makespan in
+	// joule-seconds, the quantity the MinEDP policy optimises.
+	EDPJs float64
+	// AvgPowerW is PlatformEnergyJ over the job makespan.
+	AvgPowerW float64
 	// Energy is the per-device breakdown.
 	Energy *energy.Report
 }
