@@ -1,7 +1,7 @@
 package legato
 
 // Benchmark harness: one testing.B benchmark per table/figure of the
-// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// paper's evaluation (see DESIGN.md §6 for the experiment index). Each
 // benchmark regenerates its artifact through internal/experiments — the
 // same code path as cmd/legato-bench — and reports the headline numbers as
 // custom metrics so `go test -bench` output documents the reproduction.
@@ -283,7 +283,7 @@ func BenchmarkSecureOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkECCMitigation measures the SECDED ablation sweep (DESIGN.md §5).
+// BenchmarkECCMitigation measures the SECDED ablation sweep (DESIGN.md §7).
 func BenchmarkECCMitigation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ECCMitigation(64<<10, int64(i+1))
@@ -297,6 +297,44 @@ func BenchmarkECCMitigation(b *testing.B) {
 		}
 		b.ReportMetric(float64(raw), "raw-bad-words")
 		b.ReportMetric(float64(eccBad), "ecc-bad-words")
+	}
+}
+
+// BenchmarkTailLatency regenerates E14: the multi-job session under a
+// degrade-heavy fault plan (one device silently 6× slower, invisible to
+// placement) and a fleet power cap, hedged vs unhedged. Acceptance gates:
+// hedging cuts both p99 task latency and session makespan, the hedged
+// session's peak draw never exceeds the cap (hedges are admitted through
+// the watt ledger), platform energy stays within 1.25× of the unhedged
+// run, and the straggler/hedge counters prove the path was exercised.
+func BenchmarkTailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Tail(6, 4, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.P99CutX, "p99-cut-x")
+		b.ReportMetric(res.MakespanCutX, "makespan-cut-x")
+		b.ReportMetric(res.EnergyRatioX, "energy-ratio-x")
+		b.ReportMetric(res.HedgeWastedJ, "hedge-waste-J")
+		if res.HedgedP99 >= res.BaseP99 {
+			b.Fatalf("hedged p99 %v not below unhedged %v", res.HedgedP99, res.BaseP99)
+		}
+		if res.HedgedMakespan >= res.BaseMakespan {
+			b.Fatalf("hedged makespan %v not below unhedged %v", res.HedgedMakespan, res.BaseMakespan)
+		}
+		if res.CapViolated {
+			b.Fatalf("hedged peak draw %.1f W exceeded the %.1f W cap", res.HedgedPeakW, res.CapW)
+		}
+		if res.EnergyRatioX > 1.25 {
+			b.Fatalf("hedged platform energy %.2fx the unhedged session, want <= 1.25x", res.EnergyRatioX)
+		}
+		if res.Stragglers == 0 || res.HedgesWon == 0 {
+			b.Fatalf("tail path not exercised: stragglers=%d hedges-won=%d", res.Stragglers, res.HedgesWon)
+		}
+		if res.JobsCompleted != res.Jobs {
+			b.Fatalf("only %d/%d jobs completed under hedging", res.JobsCompleted, res.Jobs)
+		}
 	}
 }
 

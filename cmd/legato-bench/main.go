@@ -134,6 +134,17 @@ func main() {
 	}
 	fmt.Print(experiments.PowerCapTable(pc))
 
+	section("E14: tail latency under silent degradation, hedged vs unhedged")
+	tlJobs, tlWorkers := 6, 4
+	if *quick {
+		tlJobs, tlWorkers = 4, 2
+	}
+	tl, err := experiments.Tail(tlJobs, tlWorkers, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.TailTable(tl))
+
 	section("Ablation: SECDED ECC mitigation for sub-guardband operation")
 	eccRows, err := experiments.ECCMitigation(64<<10, 4)
 	if err != nil {

@@ -1,9 +1,16 @@
-// legato-lint is a zero-dependency, errcheck-style linter for the
-// resilience-critical packages: it flags bare expression-statement calls
-// whose callee is defined in the scanned package and returns an error as
-// its last result. On those paths a dropped error is a dropped fault — a
-// crash, a failed checkpoint, or an admission bug silently swallowed — so
-// the build fails on any finding.
+// legato-lint is a zero-dependency linter for the resilience-critical
+// packages, with two passes:
+//
+//   - errcheck-style: flags bare expression-statement calls whose callee
+//     is defined in the scanned package and returns an error as its last
+//     result. On those paths a dropped error is a dropped fault — a
+//     crash, a failed checkpoint, or an admission bug silently swallowed.
+//   - determinism: flags any reference to time.Now or time.Since.
+//     Fleet-time code must read the virtual clock (sim.Engine.Now); a
+//     wall-clock read would make schedules, fault timelines and the
+//     straggler watchdog non-reproducible per seed.
+//
+// The build fails on any finding.
 //
 // Usage:
 //
@@ -12,7 +19,7 @@
 // With no arguments it scans the resilience paths (internal/faults,
 // internal/engine, internal/taskrt, internal/power). Test files are
 // skipped; an ignored error in a test is an assertion choice, not a
-// recovery bug.
+// recovery bug, and tests may legitimately time out on the wall clock.
 package main
 
 import (
@@ -27,10 +34,10 @@ import (
 
 var defaultDirs = []string{"internal/faults", "internal/engine", "internal/taskrt", "internal/power"}
 
-// finding is one ignored error-returning call.
+// finding is one lint violation.
 type finding struct {
-	pos  token.Position
-	call string
+	pos token.Position
+	msg string
 }
 
 func main() {
@@ -48,10 +55,10 @@ func main() {
 		findings = append(findings, fs...)
 	}
 	for _, f := range findings {
-		fmt.Printf("%s: error result of %s ignored\n", f.pos, f.call)
+		fmt.Printf("%s: %s\n", f.pos, f.msg)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "legato-lint: %d ignored error(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "legato-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -113,15 +120,40 @@ func lintDir(dir string) ([]finding, error) {
 			switch fn := call.Fun.(type) {
 			case *ast.Ident:
 				if funcs[fn.Name] {
-					findings = append(findings, finding{fset.Position(call.Pos()), fn.Name})
+					findings = append(findings, finding{fset.Position(call.Pos()),
+						fmt.Sprintf("error result of %s ignored", fn.Name)})
 				}
 			case *ast.SelectorExpr:
 				for _, a := range methods[fn.Sel.Name] {
 					if a.accepts(len(call.Args)) {
-						findings = append(findings, finding{fset.Position(call.Pos()), fn.Sel.Name})
+						findings = append(findings, finding{fset.Position(call.Pos()),
+							fmt.Sprintf("error result of %s ignored", fn.Sel.Name)})
 						break
 					}
 				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3 (determinism): no wall-clock reads. Any selector time.Now or
+	// time.Since — called or merely referenced — is a finding: fleet-time
+	// code must derive every timestamp from the virtual clock, or schedules
+	// and fault timelines stop being reproducible per seed. Name-based like
+	// pass 2: these packages never alias another import as `time`.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				findings = append(findings, finding{fset.Position(sel.Pos()),
+					fmt.Sprintf("wall-clock time.%s in fleet-time code (use the virtual clock)", sel.Sel.Name)})
 			}
 			return true
 		})

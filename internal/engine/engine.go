@@ -88,6 +88,14 @@ type Config struct {
 	// Governor selects how the power ledger reshapes device operating
 	// points under cap pressure (default power.RaceToIdle).
 	Governor power.Kind
+	// Hedge arms tail-tolerant execution on every job: a virtual-clock
+	// watchdog flags executions exceeding Hedge.Multiplier × their cost-
+	// model expectation and races a speculative replica on a different
+	// device, admitted through the same core and watt ledgers.
+	Hedge taskrt.HedgePolicy
+	// DeadlineMode selects how missed task deadlines are handled (default
+	// taskrt.DeadlineStrict: the job fails with ErrDeadlineExceeded).
+	DeadlineMode taskrt.DeadlineMode
 }
 
 // State is a job's lifecycle phase.
@@ -281,6 +289,21 @@ type Stats struct {
 	Checkpoints int
 	// DevicesLost counts devices crashed by the failure process.
 	DevicesLost int
+	// StragglersDetected counts executions flagged by the tail watchdog.
+	StragglersDetected int
+	// HedgesLaunched counts speculative replicas started across all jobs.
+	HedgesLaunched int
+	// HedgesWon counts replicas that beat their straggling primary.
+	HedgesWon int
+	// HedgesDenied counts replica launches refused by availability or the
+	// core/watt ledgers.
+	HedgesDenied int
+	// HedgeWastedJ is the energy burned by cancelled losing executions.
+	HedgeWastedJ float64
+	// DeadlineMisses counts tasks that passed their deadline.
+	DeadlineMisses int
+	// TasksShed counts tasks skipped by graceful degradation.
+	TasksShed int
 }
 
 // Speedup is the throughput gain of the session over serial submission.
@@ -383,6 +406,8 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 	rt := taskrt.New(clock, devs, e.cfg.Policy)
 	rt.SetAdmission(e.fleet)
 	rt.SetPowerAdmission(e.power)
+	rt.SetHedging(e.cfg.Hedge)
+	rt.SetDeadlineMode(e.cfg.DeadlineMode)
 
 	e.mu.Lock()
 	e.nextID++
@@ -402,6 +427,13 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 				reg.Add(scope, "tasks-running", 1)
 			},
 			Finished: func(rec taskrt.Record) {
+				if rec.Shed {
+					// A shed task never started: no running decrement, no
+					// device attribution.
+					reg.Add(scope, "tasks-shed", 1)
+					reg.Add("tail", "tasks-shed", 1)
+					return
+				}
 				reg.Add(scope, "tasks-running", -1)
 				reg.Add(scope, "tasks-completed", 1)
 				reg.Add(scope, "energy-J", float64(rec.EnergyJ))
@@ -427,6 +459,28 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 				reg.Add(scope, "checkpoints", 1)
 				reg.Add(scope, "checkpoint-bytes", float64(bytes))
 				reg.Add("faults", "checkpoints", 1)
+			},
+			Straggler: func(_, deviceID string, _, _ sim.Time) {
+				reg.Add(scope, "stragglers-detected", 1)
+				reg.Add("tail", "stragglers-detected", 1)
+				reg.Add("device/"+deviceID, "stragglers", 1)
+			},
+			Hedged: func(_, _, to string, _ sim.Time) {
+				reg.Add(scope, "hedges-launched", 1)
+				reg.Add("tail", "hedges-launched", 1)
+				reg.Add("device/"+to, "hedges-hosted", 1)
+			},
+			HedgeResolved: func(_, _ string, hedgeWon bool, wastedJ energy.Joules, _, _ sim.Time) {
+				if hedgeWon {
+					reg.Add(scope, "hedges-won", 1)
+					reg.Add("tail", "hedges-won", 1)
+				}
+				reg.Add(scope, "hedge-wasted-J", float64(wastedJ))
+				reg.Add("tail", "hedge-wasted-J", float64(wastedJ))
+			},
+			DeadlineMissed: func(_ string, _, _ sim.Time, _ bool) {
+				reg.Add(scope, "deadline-misses", 1)
+				reg.Add("tail", "deadline-misses", 1)
 			},
 		})
 	}
@@ -468,7 +522,17 @@ func (e *Engine) wireFaults(j *Job) {
 				rt.FailDevice(ev.Device)
 			})
 		case faults.Degrade:
-			j.rt.ScheduleFault(ev.At, func() { e.injector.Degrade(ev) })
+			rt := j.rt
+			j.rt.ScheduleFault(ev.At, func() {
+				// Apply the global capacity shrink exactly once, then the
+				// silent latency stretch on this job's own mirror — every
+				// job crossing the event time observes the slowdown, and
+				// none of their schedulers can see it coming.
+				e.injector.Degrade(ev)
+				if ev.Slowdown > 1 {
+					rt.DegradeDevice(ev.Device, ev.Slowdown)
+				}
+			})
 		}
 	}
 }
@@ -556,6 +620,13 @@ func (e *Engine) account(j *Job, res *taskrt.Result, err error) {
 		e.stats.TasksRetried += res.Retries
 		e.stats.TasksRestored += res.Restores
 		e.stats.Checkpoints += res.Checkpoints
+		e.stats.StragglersDetected += res.Stragglers
+		e.stats.HedgesLaunched += res.HedgesLaunched
+		e.stats.HedgesWon += res.HedgesWon
+		e.stats.HedgesDenied += res.HedgesDenied
+		e.stats.HedgeWastedJ += float64(res.HedgeWastedJ)
+		e.stats.DeadlineMisses += res.DeadlineMisses
+		e.stats.TasksShed += res.TasksShed
 	}
 	switch {
 	case err == nil:
@@ -614,7 +685,10 @@ func (e *Engine) Stats() Stats {
 	s.PowerStalls = e.power.Stalls()
 	s.GovernorRescales = e.power.Rescales()
 	sec := sim.ToSeconds(s.SessionMakespan)
-	s.PlatformEnergyJ = float64(e.power.IdleWatts())*sec + s.EnergyJ
+	// The meter reads idle floor + committed task energy + energy burned by
+	// cancelled hedge losers: speculation is not free, and the E14 gate
+	// bounds exactly this term.
+	s.PlatformEnergyJ = float64(e.power.IdleWatts())*sec + s.EnergyJ + s.HedgeWastedJ
 	if sec > 0 {
 		s.AvgPowerW = s.PlatformEnergyJ / sec
 	}

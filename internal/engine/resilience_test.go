@@ -196,3 +196,146 @@ func TestEngineFaultPlanEndToEnd(t *testing.T) {
 		t.Fatalf("registry faults scope: %+v", reg.Snapshot("faults"))
 	}
 }
+
+// tailTestPlatform is the tail-tolerance pair: dev/fast is the MinTime
+// favourite (a 100-Gop 1-core task takes 4 s), dev/backup a slower device
+// of a different class (5.56 s) for replicas to land on.
+func tailTestPlatform(se *sim.Engine) ([]*hw.Device, error) {
+	return []*hw.Device{
+		hw.NewDevice(se, "dev/fast", hw.XeonD()),
+		hw.NewDevice(se, "dev/backup", hw.ARMv8Server()),
+	}, nil
+}
+
+// End-to-end degrade → straggler → hedge: a fault plan silently slows the
+// favourite device 4× (capacity untouched, so placement keeps choosing
+// it), the watchdog flags the stretch at 1.5× the expected span, replicas
+// launch on the other class and win, and the whole path shows up in Stats
+// and the "tail" registry scope.
+func TestDegradeStragglerHedgeEndToEnd(t *testing.T) {
+	reg := monitor.NewRegistry()
+	plan := faults.Plan{
+		DegradeMTBF:     ft.MTBFModel{hw.CPUx86: 1e-6},
+		DegradeTo:       1.0,
+		DegradeSlowdown: 4.0,
+		Seed:            1,
+	}
+	e, err := New(Config{Workers: 2, Policy: taskrt.MinTime, NewPlatform: tailTestPlatform,
+		Registry: reg, Faults: &plan, Hedge: taskrt.HedgePolicy{Multiplier: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Shutdown(context.Background()) }()
+	evs := e.Faults().Events()
+	if len(evs) != 1 || evs[0].Kind != faults.Degrade || evs[0].Device != "dev/fast" || evs[0].Slowdown != 4 {
+		t.Fatalf("sampled events = %+v, want one silent 4x degrade of dev/fast", evs)
+	}
+
+	ctx := context.Background()
+	var jobs []*Job
+	for i := 0; i < 2; i++ {
+		j, err := e.NewJob(fmt.Sprintf("job%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Runtime().Submit(taskrt.Task{
+			Name: fmt.Sprintf("job%d/t0", i), Gops: 100, Cores: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		if err := e.Submit(ctx, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		res, err := j.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %s did not survive the silent degrade: %v", j.Name, err)
+		}
+		rec := res.Records[0]
+		if rec.Device != "dev/backup" || !rec.Hedged {
+			t.Fatalf("job %s record device=%s hedged=%v, want the winning replica",
+				j.Name, rec.Device, rec.Hedged)
+		}
+	}
+	st := e.Stats()
+	if st.StragglersDetected != 2 || st.HedgesLaunched != 2 || st.HedgesWon != 2 {
+		t.Fatalf("stragglers=%d launched=%d won=%d, want 2/2/2",
+			st.StragglersDetected, st.HedgesLaunched, st.HedgesWon)
+	}
+	if st.HedgeWastedJ <= 0 {
+		t.Fatalf("hedge waste = %v J, want the cancelled primaries' energy", st.HedgeWastedJ)
+	}
+	if st.TasksRetried != 0 {
+		t.Fatalf("retries = %d, want 0 (hedging, not crash recovery)", st.TasksRetried)
+	}
+	tail := reg.Snapshot("tail")
+	if tail["stragglers-detected"] != 2 || tail["hedges-won"] != 2 || tail["hedge-wasted-J"] <= 0 {
+		t.Fatalf("tail scope = %+v", tail)
+	}
+	if reg.Snapshot("device/dev/backup")["hedges-hosted"] != 2 {
+		t.Fatalf("backup device scope = %+v", reg.Snapshot("device/dev/backup"))
+	}
+}
+
+// A hedge racing a mid-flight fleet-wide loss of its own device: the
+// replica is cancelled (its burned energy counted as waste), the
+// straggling primary keeps running and completes, and the job survives
+// without a retry.
+func TestHedgeRacesHedgeDeviceLoss(t *testing.T) {
+	e, err := New(Config{Workers: 1, Policy: taskrt.MinTime, NewPlatform: tailTestPlatform,
+		Registry: monitor.NewRegistry(), Hedge: taskrt.HedgePolicy{Multiplier: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Shutdown(context.Background()) }()
+	ctx := context.Background()
+
+	j, err := e.NewJob("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := j.Runtime()
+	// Silent 4x slowdown of the favourite, invisible to placement: the
+	// primary (launched at 0, expected 4 s) now finishes at ~16 s, and the
+	// watchdog hedges onto dev/backup at 6 s (replica done ~11.56 s).
+	rt.DegradeDevice("dev/fast", 4)
+	// At 8 s — replica mid-flight — the backup dies fleet-wide, exactly
+	// as the engine replays a crash event: shared ledger first, then the
+	// job mirror.
+	rt.ScheduleFault(8*time.Second, func() {
+		e.Fleet().Fail("dev/backup")
+		rt.FailDevice("dev/backup")
+	})
+	if err := rt.Submit(taskrt.Task{Name: "race/t0", Gops: 100, Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not survive losing its hedge's device: %v", err)
+	}
+	rec := res.Records[0]
+	if rec.Device != "dev/fast" || rec.Hedged {
+		t.Fatalf("record device=%s hedged=%v, want the surviving primary", rec.Device, rec.Hedged)
+	}
+	if rec.End != sim.Time(16*time.Second) {
+		t.Fatalf("End = %v, want the degraded primary's full 16 s", rec.End)
+	}
+	st := e.Stats()
+	if st.HedgesLaunched != 1 || st.HedgesWon != 0 {
+		t.Fatalf("launched=%d won=%d, want the cancelled replica counted", st.HedgesLaunched, st.HedgesWon)
+	}
+	if st.HedgeWastedJ <= 0 {
+		t.Fatal("hedge waste not accounted for the revoked replica")
+	}
+	if st.TasksRetried != 0 {
+		t.Fatalf("retries = %d, want 0 (the primary never stopped)", st.TasksRetried)
+	}
+	if !e.Fleet().Lost("dev/backup") {
+		t.Fatal("fleet does not record the backup loss")
+	}
+}

@@ -60,6 +60,10 @@ type Event struct {
 	Kind   Kind
 	// Capacity is the post-event core count (Degrade only).
 	Capacity int
+	// Slowdown is the silent execution-time stretch the degraded device
+	// suffers (Degrade only; 1 = none). Unlike the capacity shrink it is
+	// invisible to placement — only the straggler watchdog can observe it.
+	Slowdown float64
 }
 
 // Plan parametrises the failure process. The zero plan injects nothing.
@@ -75,6 +79,12 @@ type Plan struct {
 	// DegradeTo is the fraction of cores a degraded device retains
 	// (default 0.5; clamped to [0, 1]).
 	DegradeTo float64
+	// DegradeSlowdown is the silent execution-time multiplier a degraded
+	// device suffers (values <= 1 mean none — the historical capacity-only
+	// degrade). The slowdown is hidden from placement: jobs keep scheduling
+	// onto the device with clean cost-model expectations, which is exactly
+	// the tail-latency pathology hedged execution mitigates.
+	DegradeSlowdown float64
 	// SDC gives per-class, per-execution silent-corruption probabilities.
 	SDC ft.SDCModel
 	// Seed makes the sampled timeline reproducible.
@@ -127,7 +137,11 @@ func (p Plan) Schedule(devices []*hw.Device) []Event {
 					frac = 1
 				}
 				keep := int(math.Floor(float64(d.Spec.Cores) * frac))
-				degrades = append(degrades, Event{At: at, Device: d.ID, Class: d.Spec.Class, Kind: Degrade, Capacity: keep})
+				slow := p.DegradeSlowdown
+				if slow < 1 {
+					slow = 1
+				}
+				degrades = append(degrades, Event{At: at, Device: d.ID, Class: d.Spec.Class, Kind: Degrade, Capacity: keep, Slowdown: slow})
 			}
 		}
 	}

@@ -40,6 +40,53 @@ var (
 	ErrRetriesExhausted = errors.New("taskrt: retries exhausted")
 	// ErrNoDevice marks a task no device could ever have hosted.
 	ErrNoDevice = errors.New("taskrt: no compatible device")
+	// ErrDeadlineExceeded marks a task that passed its virtual-clock
+	// deadline under the strict deadline mode.
+	ErrDeadlineExceeded = errors.New("taskrt: task deadline exceeded")
+	// ErrInvalidTask marks a task specification rejected at Submit
+	// (negative cost, width, retry budget or deadline).
+	ErrInvalidTask = errors.New("taskrt: invalid task")
+)
+
+// HedgePolicy arms tail-tolerant execution: a per-job watchdog on the
+// virtual clock tracks each running task against the cost model's expected
+// span and, once elapsed time exceeds Multiplier × expected, flags the
+// execution as a straggler and launches a speculative replica ("hedge") on
+// a different device. The first execution to complete wins; the loser is
+// cancelled deterministically and its burned energy is accounted as hedge
+// waste. Hedges are admitted through the same core and watt ledgers as
+// primaries, so they pay their way under a fleet power cap.
+type HedgePolicy struct {
+	// Multiplier is the straggler threshold as a multiple of the cost
+	// model's expected execution time. Values <= 1 disable hedging (the
+	// watchdog would fire before a healthy execution could finish).
+	Multiplier float64
+	// MaxHedges bounds speculative replicas launched per task (default 1).
+	MaxHedges int
+}
+
+// Enabled reports whether the policy arms the straggler watchdog.
+func (p HedgePolicy) Enabled() bool { return p.Multiplier > 1 }
+
+func (p HedgePolicy) maxHedges() int {
+	if p.MaxHedges > 0 {
+		return p.MaxHedges
+	}
+	return 1
+}
+
+// DeadlineMode selects how a missed task deadline is handled.
+type DeadlineMode int
+
+const (
+	// DeadlineStrict aborts the job with ErrDeadlineExceeded when any task
+	// passes its deadline.
+	DeadlineStrict DeadlineMode = iota
+	// DeadlineShed degrades gracefully: a late task that has not started
+	// and has no elevated priority is shed (skipped, successors released,
+	// record flagged), while running or high-priority tasks continue
+	// best-effort with their records flagged as late.
+	DeadlineShed
 )
 
 // Admission arbitrates real device capacity between runtimes that execute
@@ -98,6 +145,21 @@ type Hooks struct {
 	DeviceLost func(deviceID string, revoked, restored int, at sim.Time)
 	// Checkpointed fires when an async checkpoint commits.
 	Checkpointed func(tasks int, bytes int64, start, end sim.Time)
+	// Straggler fires when the watchdog flags a running execution whose
+	// elapsed time exceeded the hedge policy's multiple of the cost
+	// model's expected span.
+	Straggler func(name, device string, expected, elapsed sim.Time)
+	// Hedged fires when a speculative replica launches; from is the
+	// straggling device, to the hedge device.
+	Hedged func(name, from, to string, at sim.Time)
+	// HedgeResolved fires when a hedged task completes: winner is the
+	// committing device, hedgeWon reports whether the replica beat the
+	// straggler, wastedJ is the loser's burned energy, and start/end span
+	// the replica's lifetime.
+	HedgeResolved func(name, winner string, hedgeWon bool, wastedJ energy.Joules, start, end sim.Time)
+	// DeadlineMissed fires when a task passes its deadline; shed reports
+	// whether the task was skipped under DeadlineShed.
+	DeadlineMissed func(name string, deadline, at sim.Time, shed bool)
 }
 
 // Data is a named data region tasks depend on.
@@ -151,8 +213,29 @@ type Task struct {
 	// quadratically, while power.SDCProbability(level) is added to the
 	// task's silent-corruption risk when a fault plan is armed.
 	Undervolt int
+	// Deadline is an absolute virtual-clock deadline measured from job
+	// start; zero means none. How a miss is handled depends on the
+	// runtime's DeadlineMode.
+	Deadline sim.Time
 	// Fn runs at completion time (simulated); may be nil.
 	Fn func()
+}
+
+// exec is one in-flight execution of a task: the primary placement, or a
+// speculative hedge replica racing it on a different device.
+type exec struct {
+	dev      *hw.Device
+	cores    int
+	watts    energy.Watts // watt-ledger grant held (0 without a power ledger)
+	draw     energy.Watts // modelled dynamic draw (waste accounting)
+	energy   energy.Joules
+	start    sim.Time
+	expected sim.Time // clean cost-model span, before any silent slowdown
+	finish   sim.Time // scheduled completion instant (stretched by slowdown)
+	done     sim.Handle
+	watchdog sim.Handle
+	hedge    bool
+	flagged  bool // already counted as a straggler
 }
 
 // node is a submitted task with graph state.
@@ -165,10 +248,12 @@ type node struct {
 	done    bool
 	started bool
 
-	attempts  int          // failed executions so far (crash/sdc)
-	persisted bool         // output captured by a committed checkpoint
-	handle    sim.Handle   // completion event while running
-	grantW    energy.Watts // watt grant held while running (power ledger)
+	attempts  int   // failed executions so far (crash/sdc)
+	persisted bool  // output captured by a committed checkpoint
+	primary   *exec // the scheduled placement while running
+	hedge     *exec // speculative replica racing the primary, if any
+	hedges    int   // speculative replicas launched for this task
+	deadline  sim.Handle
 
 	record Record
 }
@@ -192,6 +277,15 @@ type Record struct {
 	// Corrupted marks a silent data corruption that went undetected (the
 	// task was not replicated/critical).
 	Corrupted bool
+	// Hedged marks a task whose committed execution was a speculative
+	// replica (the hedge beat the straggling primary).
+	Hedged bool
+	// MissedDeadline marks a task that passed its deadline under the
+	// graceful DeadlineShed mode (shed, or completed late best-effort).
+	MissedDeadline bool
+	// Shed marks a task skipped entirely by graceful degradation: it never
+	// executed, its Fn never ran, and its successors were released as-is.
+	Shed bool
 }
 
 // Policy selects the placement objective.
@@ -246,6 +340,12 @@ type Runtime struct {
 	failErr      error // terminal failure (retries exhausted)
 	faultEvents  []sim.Handle
 
+	// Tail-tolerance state.
+	hedgePol HedgePolicy
+	dlMode   DeadlineMode
+	slowdown map[string]float64 // hidden execution-time stretch per device
+	suspect  map[string]float64 // observed slowdown folded into scoring
+
 	// Checkpoint state.
 	ckptEvery   int
 	ckptCost    func(bytes int64) sim.Time
@@ -253,11 +353,18 @@ type Runtime struct {
 	sinceCkpt   int
 	ckptBytes   int64
 
-	retries     int
-	restores    int
-	ckpts       int
-	sdcDetected int
-	sdcSilent   int
+	retries        int
+	restores       int
+	ckpts          int
+	sdcDetected    int
+	sdcSilent      int
+	stragglers     int
+	hedgesLaunched int
+	hedgesWon      int
+	hedgesDenied   int
+	hedgeWastedJ   energy.Joules
+	deadlineMisses int
+	shedTasks      int
 }
 
 // New creates a runtime over the given devices.
@@ -310,6 +417,86 @@ func (r *Runtime) SetCheckpoint(every int, cost, restore func(bytes int64) sim.T
 	r.restoreCost = restore
 }
 
+// SetHedging arms the straggler watchdog with the given policy. Must be
+// called before Run; a policy with Multiplier <= 1 leaves hedging off.
+func (r *Runtime) SetHedging(p HedgePolicy) { r.hedgePol = p }
+
+// SetDeadlineMode selects how missed task deadlines are handled (default
+// DeadlineStrict: the job aborts with ErrDeadlineExceeded).
+func (r *Runtime) SetDeadlineMode(m DeadlineMode) { r.dlMode = m }
+
+// DegradeDevice records a *silent* slowdown for the named device: every
+// execution on it takes factor × the cost model's span — including the
+// remainder of executions already in flight — while placement scoring
+// still sees the clean model. Degradation is invisible to the scheduler
+// until the straggler watchdog observes it; that asymmetry is the reason
+// the tail-tolerance layer exists. Factors are monotone: a smaller factor
+// than the device's current one is ignored.
+func (r *Runtime) DegradeDevice(id string, factor float64) {
+	if factor <= 1 {
+		return
+	}
+	old := 1.0
+	if r.slowdown == nil {
+		r.slowdown = make(map[string]float64)
+	} else if f, ok := r.slowdown[id]; ok {
+		old = f
+	}
+	if factor <= old {
+		return
+	}
+	r.slowdown[id] = factor
+	// Stretch the remainder of in-flight executions on the device. The
+	// watchdog events stay where they are: they were armed off the clean
+	// expected span, which is exactly the budget a straggler overruns.
+	ratio := factor / old
+	now := r.eng.Now()
+	for _, n := range r.nodes {
+		if _, ok := r.running[n]; !ok {
+			continue
+		}
+		for _, ex := range [2]*exec{n.primary, n.hedge} {
+			if ex == nil || ex.dev.ID != id {
+				continue
+			}
+			remaining := ex.finish - now
+			if remaining <= 0 {
+				continue
+			}
+			ex.done.Cancel()
+			stretched := sim.Time(float64(remaining) * ratio)
+			ex.finish = now + stretched
+			n, ex := n, ex
+			ex.done = r.eng.Schedule(stretched, func() { r.complete(n, ex) })
+		}
+	}
+}
+
+// deviceSlowdown is the hidden execution-time stretch of a device.
+func (r *Runtime) deviceSlowdown(id string) float64 {
+	if f, ok := r.slowdown[id]; ok {
+		return f
+	}
+	return 1
+}
+
+// noteSuspect folds an observed slowdown into placement scoring: once a
+// straggler exposes a degraded device, future placements see its expected
+// time stretched by the largest factor witnessed so far. Only elapsed time
+// is used — the runtime learns from what it measured, not from the fault
+// plan it cannot see.
+func (r *Runtime) noteSuspect(id string, observed float64) {
+	if observed <= 1 {
+		return
+	}
+	if r.suspect == nil {
+		r.suspect = make(map[string]float64)
+	}
+	if observed > r.suspect[id] {
+		r.suspect[id] = observed
+	}
+}
+
 // ScheduleFault registers fn to run at the given virtual time *while the
 // graph is still executing*: pending fault events are cancelled the moment
 // the graph completes, so a failure process sampled beyond the job's
@@ -333,15 +520,24 @@ func (r *Runtime) Data(name string, size int64) *Data {
 // Submit adds a task, wiring dependences against earlier submissions
 // (program order), exactly like OmpSs #pragma omp task in/out clauses.
 func (r *Runtime) Submit(t Task) error {
-	if t.Cores <= 0 {
+	if t.Cores < 0 {
+		return fmt.Errorf("taskrt: task %q requests %d cores: %w", t.Name, t.Cores, ErrInvalidTask)
+	}
+	if t.Cores == 0 {
 		t.Cores = 1
 	}
 	if t.Gops < 0 {
-		return fmt.Errorf("taskrt: task %q has negative cost", t.Name)
+		return fmt.Errorf("taskrt: task %q has negative cost %g: %w", t.Name, t.Gops, ErrInvalidTask)
+	}
+	if t.Retry < 0 {
+		return fmt.Errorf("taskrt: task %q has negative retry budget %d: %w", t.Name, t.Retry, ErrInvalidTask)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("taskrt: task %q has negative deadline %v: %w", t.Name, t.Deadline, ErrInvalidTask)
 	}
 	if t.Undervolt < 0 || t.Undervolt > power.MaxUndervolt {
-		return fmt.Errorf("taskrt: task %q undervolt level %d outside [0, %d]",
-			t.Name, t.Undervolt, power.MaxUndervolt)
+		return fmt.Errorf("taskrt: task %q undervolt level %d outside [0, %d]: %w",
+			t.Name, t.Undervolt, power.MaxUndervolt, ErrInvalidTask)
 	}
 	n := &node{task: t, id: r.nextID}
 	r.nextID++
@@ -386,6 +582,13 @@ func (r *Runtime) Submit(t Task) error {
 
 	r.nodes = append(r.nodes, n)
 	r.inDAG++
+	if t.Deadline > 0 {
+		at := t.Deadline
+		if now := r.eng.Now(); at < now {
+			at = now
+		}
+		n.deadline = r.eng.ScheduleAt(at, func() { r.deadlineFire(n) })
+	}
 	for _, h := range r.hooks {
 		if h.Queued != nil {
 			h.Queued(t.Name)
@@ -395,6 +598,48 @@ func (r *Runtime) Submit(t Task) error {
 		r.enqueue(n)
 	}
 	return nil
+}
+
+// deadlineFire handles a task still unfinished at its deadline. Strict
+// mode aborts the job with ErrDeadlineExceeded. DeadlineShed degrades
+// gracefully: a not-yet-started task without elevated priority is shed —
+// skipped entirely, successors released so the rest of the graph keeps
+// flowing — while running or high-priority tasks continue best-effort with
+// their records flagged late.
+func (r *Runtime) deadlineFire(n *node) {
+	if n.done {
+		return
+	}
+	now := r.eng.Now()
+	r.deadlineMisses++
+	if r.dlMode == DeadlineShed {
+		shed := !n.started && n.task.Priority <= 0
+		n.record.MissedDeadline = true
+		for _, h := range r.hooks {
+			if h.DeadlineMissed != nil {
+				h.DeadlineMissed(n.task.Name, n.task.Deadline, now, shed)
+			}
+		}
+		if !shed {
+			return
+		}
+		r.shedTasks++
+		r.unready(n)
+		n.record.Shed = true
+		n.record.End = now
+		r.finishNode(n)
+		r.dispatch()
+		return
+	}
+	for _, h := range r.hooks {
+		if h.DeadlineMissed != nil {
+			h.DeadlineMissed(n.task.Name, n.task.Deadline, now, false)
+		}
+	}
+	if r.failErr == nil {
+		r.failErr = fmt.Errorf("taskrt: task %q missed its %v deadline at %v: %w",
+			n.task.Name, n.task.Deadline, now, ErrDeadlineExceeded)
+	}
 }
 
 // enqueue adds a ready node, keeping the queue priority-sorted.
@@ -462,6 +707,12 @@ func (r *Runtime) score(t Task, dev *hw.Device) (float64, bool) {
 		return 0, false
 	}
 	execSec := sim.ToSeconds(dev.ExecTime(t.Gops, t.Cores))
+	// Fold in witnessed slowdowns: a device exposed as degraded by the
+	// straggler watchdog is scored at its observed stretch, so placement
+	// routes around it without ever reading the (hidden) fault state.
+	if f, ok := r.suspect[dev.ID]; ok {
+		execSec *= f
+	}
 	energyJ := dev.EnergyFor(t.Gops, t.Cores) * power.UndervoltPowerScale(t.Undervolt)
 	switch r.policy {
 	case MinEnergy:
@@ -557,8 +808,42 @@ func (r *Runtime) dispatch() {
 	}
 }
 
-// start runs n on dev. The caller has already won global admission for the
-// task's cores (and watts of draw) when shared ledgers are installed.
+// launch builds one execution of n on dev: the device meter is charged,
+// the completion event is scheduled (stretched by any silent slowdown),
+// and the held-grant maps advance. The caller has already won global
+// admission for the cores and watts.
+func (r *Runtime) launch(n *node, dev *hw.Device, watts energy.Watts, hedge bool) *exec {
+	t := n.task
+	if r.adm != nil {
+		r.held[dev.ID] += t.Cores
+	}
+	if r.pow != nil {
+		r.heldW[dev.ID] += watts
+	}
+	now := r.eng.Now()
+	factor := r.deviceSlowdown(dev.ID)
+	expected := dev.ExecTime(t.Gops, t.Cores)
+	actual := sim.Time(float64(expected) * factor)
+	ex := &exec{
+		dev: dev, cores: t.Cores, watts: watts,
+		draw:     taskDrawW(t, dev),
+		energy:   energy.Joules(float64(dev.EnergyFor(t.Gops, t.Cores)) * float64(power.UndervoltPowerScale(t.Undervolt)) * factor),
+		start:    now,
+		expected: expected,
+		finish:   now + actual,
+		hedge:    hedge,
+	}
+	ex.done = r.eng.Schedule(actual, func() { r.complete(n, ex) })
+	if !hedge && r.hedgePol.Enabled() && expected > 0 {
+		delay := sim.Time(float64(expected) * r.hedgePol.Multiplier)
+		ex.watchdog = r.eng.Schedule(delay, func() { r.straggler(n, ex) })
+	}
+	return ex
+}
+
+// start runs n on dev as the primary execution. The caller has already won
+// global admission for the task's cores (and watts of draw) when shared
+// ledgers are installed.
 func (r *Runtime) start(n *node, dev *hw.Device, watts energy.Watts) {
 	t := n.task
 	if err := dev.Acquire(t.Cores); err != nil {
@@ -572,19 +857,15 @@ func (r *Runtime) start(n *node, dev *hw.Device, watts energy.Watts) {
 		r.enqueue(n)
 		return
 	}
-	if r.adm != nil {
-		r.held[dev.ID] += t.Cores
-	}
-	if r.pow != nil {
-		r.heldW[dev.ID] += watts
-		n.grantW = watts
-	}
 	n.started = true
+	n.hedges = 0
+	n.primary = r.launch(n, dev, watts, false)
 	n.record.Device = dev.ID
 	n.record.Class = dev.Spec.Class
-	n.record.Start = r.eng.Now()
-	n.record.EnergyJ = dev.EnergyFor(t.Gops, t.Cores) * power.UndervoltPowerScale(t.Undervolt)
-	n.record.DrawW = taskDrawW(t, dev)
+	n.record.Start = n.primary.start
+	n.record.EnergyJ = n.primary.energy
+	n.record.DrawW = n.primary.draw
+	n.record.Hedged = false
 	n.record.Attempts++
 	r.running[n] = struct{}{}
 	for _, h := range r.hooks {
@@ -592,27 +873,179 @@ func (r *Runtime) start(n *node, dev *hw.Device, watts energy.Watts) {
 			h.Started(n.record)
 		}
 	}
-	span := dev.ExecTime(t.Gops, t.Cores)
-	n.handle = r.eng.Schedule(span, func() { r.complete(n, dev) })
 }
 
-// complete finishes one execution of n on dev: the device and admission
-// grant are returned, the SDC oracle is consulted, and the node either
-// finishes or re-queues for another attempt.
-func (r *Runtime) complete(n *node, dev *hw.Device) {
-	t := n.task
-	delete(r.running, n)
-	dev.Release(t.Cores)
+// releaseExec returns one execution's device cores and ledger grants.
+func (r *Runtime) releaseExec(ex *exec) {
+	ex.dev.Release(ex.cores)
 	if r.adm != nil {
-		r.held[dev.ID] -= t.Cores
-		r.adm.Release(dev.ID, t.Cores)
+		r.held[ex.dev.ID] -= ex.cores
+		r.adm.Release(ex.dev.ID, ex.cores)
 	}
 	if r.pow != nil {
-		r.heldW[dev.ID] -= n.grantW
-		r.pow.ReleaseDraw(dev.ID, n.grantW)
-		n.grantW = 0
+		r.heldW[ex.dev.ID] -= ex.watts
+		r.pow.ReleaseDraw(ex.dev.ID, ex.watts)
 	}
-	n.record.End = r.eng.Now()
+}
+
+// wastedJoules is the energy a cancelled execution burned up to now.
+func (r *Runtime) wastedJoules(ex *exec) energy.Joules {
+	return energy.Joules(float64(ex.draw) * sim.ToSeconds(r.eng.Now()-ex.start))
+}
+
+// straggler is the watchdog event: ex has been running for Multiplier ×
+// its expected span without completing. The observation is folded into
+// placement scoring and, budget and admission permitting, a speculative
+// replica launches on a different device.
+func (r *Runtime) straggler(n *node, ex *exec) {
+	if n.done || n.primary != ex {
+		return // completed, revoked or replaced since the watchdog was armed
+	}
+	now := r.eng.Now()
+	elapsed := now - ex.start
+	if !ex.flagged {
+		ex.flagged = true
+		r.stragglers++
+		for _, h := range r.hooks {
+			if h.Straggler != nil {
+				h.Straggler(n.task.Name, ex.dev.ID, ex.expected, elapsed)
+			}
+		}
+	}
+	if ex.expected > 0 {
+		r.noteSuspect(ex.dev.ID, float64(elapsed)/float64(ex.expected))
+	}
+	if n.hedge != nil || n.hedges >= r.hedgePol.maxHedges() {
+		return
+	}
+	// Pick the best-scoring different device, preferring a different
+	// *class*: a slowdown the cost model cannot see is often correlated
+	// across siblings of the straggler's class (shared thermal budget,
+	// firmware, undervolt guardband), so a replica diversifies across
+	// classes when it can and falls back to a same-class sibling only when
+	// no foreign class fits. Scoring already includes witnessed suspicion,
+	// so among foreign devices a known-degraded one loses to a clean one.
+	best, foreign := -1, false
+	bestScore := 0.0
+	for di, dev := range r.devices {
+		if dev.ID == ex.dev.ID {
+			continue
+		}
+		if r.adm != nil && r.adm.Capacity(dev.ID) < n.task.Cores {
+			continue
+		}
+		s, ok := r.score(n.task, dev)
+		if !ok {
+			continue
+		}
+		df := dev.Spec.Class != ex.dev.Spec.Class
+		if best == -1 || (df && !foreign) || (df == foreign && s < bestScore) {
+			best, bestScore, foreign = di, s, df
+		}
+	}
+	rearm := func() {
+		// No replica this round (no device, or admission refused). Re-check
+		// after another expected span; the primary completing first turns
+		// the re-armed watchdog into a no-op.
+		r.hedgesDenied++
+		ex.watchdog = r.eng.Schedule(ex.expected, func() { r.straggler(n, ex) })
+	}
+	if best == -1 {
+		rearm()
+		return
+	}
+	dev := r.devices[best]
+	if r.adm != nil && !r.adm.TryAcquire(dev.ID, n.task.Cores) {
+		rearm()
+		return
+	}
+	watts := energy.Watts(0)
+	if r.pow != nil {
+		watts = taskDrawW(n.task, dev)
+		if !r.pow.TryDraw(dev.ID, watts) {
+			// Hedges pay their way under the power cap: a replica that does
+			// not fit the watt budget is denied, never force-admitted.
+			if r.adm != nil {
+				r.adm.Release(dev.ID, n.task.Cores)
+			}
+			rearm()
+			return
+		}
+	}
+	if err := dev.Acquire(n.task.Cores); err != nil {
+		if r.adm != nil {
+			r.adm.Release(dev.ID, n.task.Cores)
+		}
+		if r.pow != nil {
+			r.pow.ReleaseDraw(dev.ID, watts)
+		}
+		rearm()
+		return
+	}
+	n.hedges++
+	r.hedgesLaunched++
+	n.hedge = r.launch(n, dev, watts, true)
+	for _, h := range r.hooks {
+		if h.Hedged != nil {
+			h.Hedged(n.task.Name, ex.dev.ID, dev.ID, now)
+		}
+	}
+}
+
+// complete finishes one execution of n: the winner's device and admission
+// grants are returned, a racing loser is cancelled deterministically (its
+// burned energy accounted as hedge waste), the SDC oracle is consulted on
+// the committed record, and the node either finishes or re-queues.
+func (r *Runtime) complete(n *node, ex *exec) {
+	t := n.task
+	now := r.eng.Now()
+	delete(r.running, n)
+	r.releaseExec(ex)
+	ex.watchdog.Cancel()
+	var loser *exec
+	if ex == n.primary {
+		loser = n.hedge
+	} else {
+		loser = n.primary
+	}
+	if loser != nil {
+		// First completion wins: cancel the loser and return its grants.
+		loser.done.Cancel()
+		loser.watchdog.Cancel()
+		r.releaseExec(loser)
+		wasted := r.wastedJoules(loser)
+		r.hedgeWastedJ += wasted
+		replica := ex
+		if !ex.hedge {
+			replica = loser
+		}
+		if ex.hedge {
+			r.hedgesWon++
+		}
+		if loser.expected > 0 && now-loser.start > loser.expected {
+			// Whichever side lost, if it overran its expected span the
+			// cancellation is evidence of slowness: remember the stretch (a
+			// lower bound — the loser never finished) so placement and later
+			// hedges route around the device. This also teaches on losing
+			// *hedges*, which carry no watchdog of their own.
+			r.noteSuspect(loser.dev.ID, float64(now-loser.start)/float64(loser.expected))
+		}
+		for _, h := range r.hooks {
+			if h.HedgeResolved != nil {
+				h.HedgeResolved(t.Name, ex.dev.ID, ex.hedge, wasted, replica.start, now)
+			}
+		}
+	}
+	n.primary, n.hedge = nil, nil
+	// Commit the winner. Start stays the primary's launch instant so
+	// End-Start is the task's true latency including the straggling window,
+	// not just the replica's run.
+	n.record.Device = ex.dev.ID
+	n.record.Class = ex.dev.Spec.Class
+	n.record.End = now
+	n.record.EnergyJ = ex.energy
+	n.record.DrawW = ex.draw
+	n.record.Hedged = ex.hedge
 	if r.corrupt != nil && r.corrupt(n.record) {
 		if t.Critical {
 			// The replica vote disagrees: corruption detected, re-execute.
@@ -636,7 +1069,8 @@ func (r *Runtime) complete(n *node, dev *hw.Device) {
 func (r *Runtime) finishNode(n *node) {
 	n.done = true
 	r.inDAG--
-	if n.task.Fn != nil {
+	n.deadline.Cancel()
+	if n.task.Fn != nil && !n.record.Shed {
 		n.task.Fn()
 	}
 	for _, h := range r.hooks {
@@ -768,25 +1202,40 @@ func (r *Runtime) FailDevice(id string) (revoked, restored int) {
 	if dev == nil || !dev.Healthy() {
 		return 0, 0
 	}
-	// Revoke in-flight executions.
-	for n := range r.running {
-		if n.record.Device != id {
+	// Revoke in-flight executions, in deterministic submission order. A
+	// node may hold two executions (primary + hedge) on different devices;
+	// losing the hedge's device cancels just the replica, while losing the
+	// primary's device promotes a surviving replica instead of retrying.
+	for _, n := range r.nodes {
+		if _, ok := r.running[n]; !ok {
 			continue
 		}
-		delete(r.running, n)
-		n.handle.Cancel()
-		dev.Release(n.task.Cores)
-		if r.adm != nil {
-			r.held[id] -= n.task.Cores
-			r.adm.Release(id, n.task.Cores)
+		if h := n.hedge; h != nil && h.dev.ID == id {
+			h.done.Cancel()
+			h.watchdog.Cancel()
+			r.releaseExec(h)
+			r.hedgeWastedJ += r.wastedJoules(h)
+			n.hedge = nil
+			revoked++
 		}
-		if r.pow != nil {
-			r.heldW[id] -= n.grantW
-			r.pow.ReleaseDraw(id, n.grantW)
-			n.grantW = 0
+		p := n.primary
+		if p == nil || p.dev.ID != id {
+			continue
 		}
-		n.started = false
+		p.done.Cancel()
+		p.watchdog.Cancel()
+		r.releaseExec(p)
 		revoked++
+		if h := n.hedge; h != nil {
+			// The straggler died under the watchdog's replica: promote the
+			// hedge to sole execution — no retry, no attempt charged.
+			n.primary = h
+			n.hedge = nil
+			continue
+		}
+		n.primary = nil
+		delete(r.running, n)
+		n.started = false
 		r.retry(n, "crash")
 	}
 	dev.Fail()
@@ -802,7 +1251,7 @@ func (r *Runtime) FailDevice(id string) (revoked, restored int) {
 	for changed := true; changed; {
 		changed = false
 		for _, n := range r.nodes {
-			if !n.done || n.persisted || n.record.Device != id || invalSet[n] {
+			if !n.done || n.persisted || n.record.Shed || n.record.Device != id || invalSet[n] {
 				continue
 			}
 			needed := len(n.succ) == 0
@@ -891,6 +1340,23 @@ type Result struct {
 	SDCDetected int
 	// SDCSilent counts corruptions that went undetected.
 	SDCSilent int
+	// Stragglers counts executions flagged by the watchdog as exceeding
+	// the hedge policy's multiple of their expected span.
+	Stragglers int
+	// HedgesLaunched counts speculative replicas started.
+	HedgesLaunched int
+	// HedgesWon counts replicas that beat their straggling primary.
+	HedgesWon int
+	// HedgesDenied counts replica launches refused by device availability
+	// or the core/watt ledgers.
+	HedgesDenied int
+	// HedgeWastedJ is the energy burned by cancelled losing executions —
+	// the price of the insurance the hedge policy buys.
+	HedgeWastedJ energy.Joules
+	// DeadlineMisses counts tasks that passed their deadline.
+	DeadlineMisses int
+	// TasksShed counts tasks skipped by graceful degradation.
+	TasksShed int
 }
 
 // Run executes the submitted graph to completion and returns the trace.
@@ -962,11 +1428,18 @@ func (r *Runtime) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	res := &Result{
-		Retries:     r.retries,
-		Restores:    r.restores,
-		Checkpoints: r.ckpts,
-		SDCDetected: r.sdcDetected,
-		SDCSilent:   r.sdcSilent,
+		Retries:        r.retries,
+		Restores:       r.restores,
+		Checkpoints:    r.ckpts,
+		SDCDetected:    r.sdcDetected,
+		SDCSilent:      r.sdcSilent,
+		Stragglers:     r.stragglers,
+		HedgesLaunched: r.hedgesLaunched,
+		HedgesWon:      r.hedgesWon,
+		HedgesDenied:   r.hedgesDenied,
+		HedgeWastedJ:   r.hedgeWastedJ,
+		DeadlineMisses: r.deadlineMisses,
+		TasksShed:      r.shedTasks,
 	}
 	for _, n := range r.nodes {
 		res.Records = append(res.Records, n.record)

@@ -20,6 +20,9 @@ type Span struct {
 	Resource string // device/node the span ran on
 	Start    sim.Time
 	End      sim.Time
+	// Value carries a sampled measurement for telemetry spans (e.g. the
+	// fleet draw in watts for "power" samples); zero for plain intervals.
+	Value float64
 }
 
 // Duration returns the span length.
@@ -118,6 +121,24 @@ func (t *Tracer) Merge(other *Tracer) {
 	for k, v := range counters {
 		t.counters[k] += v
 	}
+}
+
+// Series extracts the sampled values of a telemetry category as (seconds,
+// value) points sorted by time — the shape internal/plot charts directly,
+// e.g. the fleet draw-vs-time curve from "power" spans.
+func (t *Tracer) Series(category string) (xs, ys []float64) {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, s := range spans {
+		if s.Category != category {
+			continue
+		}
+		xs = append(xs, sim.ToSeconds(s.Start))
+		ys = append(ys, s.Value)
+	}
+	return xs, ys
 }
 
 // ByCategory returns total time per category.

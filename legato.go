@@ -79,6 +79,12 @@ var (
 	// ErrRetriesExhausted: a task failed more times than its attempt
 	// budget allows.
 	ErrRetriesExhausted = taskrt.ErrRetriesExhausted
+	// ErrDeadlineExceeded: a task passed its virtual-clock deadline under
+	// the strict deadline mode (see WithDeadlineMode).
+	ErrDeadlineExceeded = taskrt.ErrDeadlineExceeded
+	// ErrInvalidTask: a task specification was rejected at Submit
+	// (non-positive Gops, negative Cores or Retry, non-positive Deadline).
+	ErrInvalidTask = taskrt.ErrInvalidTask
 )
 
 // Policy re-exports the runtime placement objectives.
@@ -112,6 +118,26 @@ const (
 // TaskBuilder.Undervolt.
 const MaxUndervolt = power.MaxUndervolt
 
+// HedgePolicy re-exports the tail-tolerance policy of the task runtime: a
+// watchdog on each job's virtual clock flags executions exceeding
+// Multiplier × their cost-model expectation as stragglers and races a
+// speculative replica on a different device (first completion wins).
+type HedgePolicy = taskrt.HedgePolicy
+
+// DeadlineMode re-exports how missed task deadlines are handled.
+type DeadlineMode = taskrt.DeadlineMode
+
+// Deadline modes.
+const (
+	// DeadlineStrict fails the job with ErrDeadlineExceeded when any task
+	// passes its deadline.
+	DeadlineStrict = taskrt.DeadlineStrict
+	// DeadlineShed degrades gracefully: late low-priority tasks that never
+	// started are shed (skipped, successors released), the rest continue
+	// best-effort with their records flagged late.
+	DeadlineShed = taskrt.DeadlineShed
+)
+
 // PlatformKind selects the hardware substrate.
 type PlatformKind int
 
@@ -136,6 +162,8 @@ type settings struct {
 	faults    *faults.Plan
 	powerCapW float64
 	governor  Governor
+	hedge     HedgePolicy
+	dlMode    DeadlineMode
 }
 
 func defaultSettings() settings {
@@ -226,6 +254,26 @@ func WithGovernor(g Governor) Option {
 	return optionFunc(func(s *settings) { s.governor = g })
 }
 
+// WithHedging arms tail-tolerant execution on every job: a watchdog on the
+// job's virtual clock tracks each running task against the cost model's
+// expected duration, flags it as a straggler once elapsed time exceeds
+// p.Multiplier × expected, and launches a speculative replica on a
+// different device. Replicas are admitted through the same core and watt
+// ledgers as primaries — hedges pay their way under WithPowerCap — and the
+// first execution to complete wins; the loser is cancelled and its burned
+// energy reported as HedgeWastedJ. A Multiplier <= 1 leaves hedging off.
+func WithHedging(p HedgePolicy) Option {
+	return optionFunc(func(s *settings) { s.hedge = p })
+}
+
+// WithDeadlineMode selects how missed task deadlines (TaskBuilder.Deadline)
+// are handled: DeadlineStrict (default) fails the job with
+// ErrDeadlineExceeded, DeadlineShed degrades gracefully by shedding late
+// low-priority tasks and best-efforting the rest.
+func WithDeadlineMode(m DeadlineMode) Option {
+	return optionFunc(func(s *settings) { s.dlMode = m })
+}
+
 // Config parametrises a System.
 //
 // Deprecated: Config is the legacy all-in-one option; it implements Option
@@ -297,6 +345,10 @@ type Task struct {
 	// quadratically in voltage, at an exponentially growing silent-data-
 	// corruption probability fed to the fault model (paper Sec. III).
 	Undervolt int
+	// Deadline is the task's completion budget on the job's virtual clock,
+	// measured from job start; zero means none. Misses are handled per
+	// WithDeadlineMode.
+	Deadline time.Duration
 	// Fn runs at completion.
 	Fn func()
 	// Req are the non-functional requirements.
@@ -380,11 +432,13 @@ func NewSystem(opts ...Option) (*System, error) {
 			_, _, devices, err := buildPlatform(set.platform, je)
 			return devices, err
 		},
-		Fleet:     fleet,
-		Registry:  s.reg,
-		Faults:    set.faults,
-		PowerCapW: set.powerCapW,
-		Governor:  set.governor,
+		Fleet:        fleet,
+		Registry:     s.reg,
+		Faults:       set.faults,
+		PowerCapW:    set.powerCapW,
+		Governor:     set.governor,
+		Hedge:        set.hedge,
+		DeadlineMode: set.dlMode,
 	})
 	if err != nil {
 		return nil, err
@@ -460,32 +514,56 @@ type SessionStats struct {
 	PowerStalls uint64
 	// GovernorRescales counts governor DVFS operating-point changes.
 	GovernorRescales uint64
+	// StragglersDetected counts executions flagged by the tail watchdog
+	// as exceeding the hedge policy's multiple of their expected span.
+	StragglersDetected int
+	// HedgesLaunched counts speculative replicas started across all jobs.
+	HedgesLaunched int
+	// HedgesWon counts replicas that beat their straggling primary.
+	HedgesWon int
+	// HedgesDenied counts replica launches refused by device availability
+	// or the core/watt ledgers (hedges pay their way under the power cap).
+	HedgesDenied int
+	// HedgeWastedJ is the energy burned by cancelled losing executions —
+	// the price of the tail insurance, included in PlatformEnergyJ.
+	HedgeWastedJ float64
+	// DeadlineMisses counts tasks that passed their deadline.
+	DeadlineMisses int
+	// TasksShed counts tasks skipped by graceful degradation.
+	TasksShed int
 }
 
 // Stats snapshots the engine session counters.
 func (s *System) Stats() SessionStats {
 	st := s.eng.Stats()
 	return SessionStats{
-		JobsSubmitted:    st.JobsSubmitted,
-		JobsCompleted:    st.JobsCompleted,
-		JobsFailed:       st.JobsFailed,
-		JobsCancelled:    st.JobsCancelled,
-		TasksCompleted:   st.TasksCompleted,
-		EnergyJ:          st.EnergyJ,
-		TotalJobTime:     st.TotalJobTime,
-		SessionMakespan:  st.SessionMakespan,
-		Speedup:          st.Speedup(),
-		AdmissionStalls:  st.AdmissionStalls,
-		TasksRetried:     st.TasksRetried,
-		TasksRestored:    st.TasksRestored,
-		Checkpoints:      st.Checkpoints,
-		DevicesLost:      st.DevicesLost,
-		PlatformEnergyJ:  st.PlatformEnergyJ,
-		AvgPowerW:        st.AvgPowerW,
-		PowerCapW:        st.PowerCapW,
-		PeakDrawW:        st.PeakDrawW,
-		PowerStalls:      st.PowerStalls,
-		GovernorRescales: st.GovernorRescales,
+		JobsSubmitted:      st.JobsSubmitted,
+		JobsCompleted:      st.JobsCompleted,
+		JobsFailed:         st.JobsFailed,
+		JobsCancelled:      st.JobsCancelled,
+		TasksCompleted:     st.TasksCompleted,
+		EnergyJ:            st.EnergyJ,
+		TotalJobTime:       st.TotalJobTime,
+		SessionMakespan:    st.SessionMakespan,
+		Speedup:            st.Speedup(),
+		AdmissionStalls:    st.AdmissionStalls,
+		TasksRetried:       st.TasksRetried,
+		TasksRestored:      st.TasksRestored,
+		Checkpoints:        st.Checkpoints,
+		DevicesLost:        st.DevicesLost,
+		PlatformEnergyJ:    st.PlatformEnergyJ,
+		AvgPowerW:          st.AvgPowerW,
+		PowerCapW:          st.PowerCapW,
+		PeakDrawW:          st.PeakDrawW,
+		PowerStalls:        st.PowerStalls,
+		GovernorRescales:   st.GovernorRescales,
+		StragglersDetected: st.StragglersDetected,
+		HedgesLaunched:     st.HedgesLaunched,
+		HedgesWon:          st.HedgesWon,
+		HedgesDenied:       st.HedgesDenied,
+		HedgeWastedJ:       st.HedgeWastedJ,
+		DeadlineMisses:     st.DeadlineMisses,
+		TasksShed:          st.TasksShed,
 	}
 }
 
@@ -568,12 +646,32 @@ func (s *System) NewJob(name string) (*Job, error) {
 		tracer: trace.New(ej.Clock()),
 		data:   make(map[string]*taskrt.Data),
 	}
+	// samplePower records the shared watt ledger as an instant "power" span
+	// on the job's clock. Draw only changes at task boundaries, so sampling
+	// in Started/Finished captures every level of the draw-vs-time curve
+	// (internal/plot renders it from Tracer.Series("power")).
+	samplePower := func(at sim.Time) {
+		j.tracer.Add(trace.Span{
+			Name: "fleet-draw", Category: "power", Resource: "fleet",
+			Start: at, End: at, Value: float64(s.eng.Power().Draw()),
+		})
+	}
 	ej.Runtime().AddHooks(taskrt.Hooks{
+		Started: func(rec taskrt.Record) { samplePower(rec.Start) },
 		Finished: func(rec taskrt.Record) {
+			if rec.Shed {
+				j.tracer.Add(trace.Span{
+					Name:     fmt.Sprintf("%s#shed", rec.Name),
+					Category: "deadline", Resource: rec.Name,
+					Start: rec.End, End: rec.End,
+				})
+				return
+			}
 			j.tracer.Add(trace.Span{
 				Name: rec.Name, Category: "task", Resource: rec.Device,
 				Start: rec.Start, End: rec.End,
 			})
+			samplePower(rec.End)
 		},
 		Retried: func(task string, attempt int, reason string, at sim.Time) {
 			j.tracer.Add(trace.Span{
@@ -591,6 +689,42 @@ func (s *System) NewJob(name string) (*Job, error) {
 			j.tracer.Add(trace.Span{
 				Name:     fmt.Sprintf("ckpt tasks=%d bytes=%d", tasks, bytes),
 				Category: "checkpoint", Resource: name, Start: start, End: end,
+			})
+		},
+		Straggler: func(task, device string, expected, elapsed sim.Time) {
+			at := ej.Clock().Now()
+			j.tracer.Add(trace.Span{
+				Name:     fmt.Sprintf("%s straggling on %s (%v > %v)", task, device, elapsed, expected),
+				Category: "hedge", Resource: device, Start: at, End: at,
+			})
+		},
+		Hedged: func(task, from, to string, at sim.Time) {
+			j.tracer.Add(trace.Span{
+				Name:     fmt.Sprintf("%s hedge %s->%s", task, from, to),
+				Category: "hedge", Resource: to, Start: at, End: at,
+			})
+			samplePower(at)
+		},
+		HedgeResolved: func(task, winner string, hedgeWon bool, wastedJ energy.Joules, start, end sim.Time) {
+			outcome := "lost"
+			if hedgeWon {
+				outcome = "won"
+			}
+			j.tracer.Add(trace.Span{
+				Name:     fmt.Sprintf("%s hedge %s on %s", task, outcome, winner),
+				Category: "hedge", Resource: winner,
+				Start: start, End: end, Value: float64(wastedJ),
+			})
+			samplePower(end)
+		},
+		DeadlineMissed: func(task string, deadline, at sim.Time, shed bool) {
+			verdict := "late"
+			if shed {
+				verdict = "shed"
+			}
+			j.tracer.Add(trace.Span{
+				Name:     fmt.Sprintf("%s %s (deadline %v)", task, verdict, deadline),
+				Category: "deadline", Resource: task, Start: at, End: at,
 			})
 		},
 	})
@@ -705,6 +839,20 @@ func (j *Job) submitLocked(t Task) error {
 	if j.started {
 		return fmt.Errorf("legato: job %q already submitted to the engine: %w", j.name, ErrGraphFrozen)
 	}
+	// Reject nonsense specs up front with typed errors, instead of letting
+	// a zero-cost or negative-width task distort the schedule silently.
+	if t.Gops <= 0 {
+		return fmt.Errorf("legato: task %q needs a positive Gops cost (got %g): %w", t.Name, t.Gops, ErrInvalidTask)
+	}
+	if t.Cores < 0 {
+		return fmt.Errorf("legato: task %q requests %d cores: %w", t.Name, t.Cores, ErrInvalidTask)
+	}
+	if t.Retry < 0 {
+		return fmt.Errorf("legato: task %q has a negative retry budget %d: %w", t.Name, t.Retry, ErrInvalidTask)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("legato: task %q has a non-positive deadline %v: %w", t.Name, t.Deadline, ErrInvalidTask)
+	}
 	ins, err := j.resolveLocked("input", t.In)
 	if err != nil {
 		return err
@@ -752,7 +900,7 @@ func (j *Job) submitLocked(t Task) error {
 			Name: t.Name, Gops: t.Gops, Cores: cores, Targets: t.Targets,
 			In: ins, Out: outs, InOut: inouts,
 			Priority: t.Priority, Critical: false, Retry: t.Retry,
-			Undervolt: t.Undervolt, Fn: fn,
+			Undervolt: t.Undervolt, Deadline: t.Deadline, Fn: fn,
 		})
 	}
 
@@ -770,7 +918,7 @@ func (j *Job) submitLocked(t Task) error {
 		Name: t.Name + "#a", Gops: t.Gops, Cores: cores, Targets: targetA,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowA},
 		Priority: t.Priority, Critical: true, Retry: t.Retry,
-		Undervolt: t.Undervolt, Fn: fn,
+		Undervolt: t.Undervolt, Deadline: t.Deadline, Fn: fn,
 	}); err != nil {
 		return err
 	}
@@ -778,16 +926,19 @@ func (j *Job) submitLocked(t Task) error {
 		Name: t.Name + "#b", Gops: t.Gops, Cores: cores, Targets: targetB,
 		In: append(append([]*taskrt.Data{}, ins...), inouts...), Out: []*taskrt.Data{shadowB},
 		Priority: t.Priority, Critical: true, Retry: t.Retry,
-		Undervolt: t.Undervolt,
+		Undervolt: t.Undervolt, Deadline: t.Deadline,
 	}); err != nil {
 		return err
 	}
 	j.replicas++
+	// The vote publishes the replicated result, so the user's deadline
+	// binds the whole expansion through its terminal task.
 	return rt.Submit(taskrt.Task{
 		Name: t.Name + "#vote", Gops: 0.01, Cores: 1,
 		In:  []*taskrt.Data{shadowA, shadowB},
 		Out: outs, InOut: inouts,
 		Priority: t.Priority, Critical: true, Retry: t.Retry,
+		Deadline: t.Deadline,
 	})
 }
 
@@ -877,6 +1028,12 @@ func (j *Job) buildReport(res *taskrt.Result) {
 		Checkpoints:     res.Checkpoints,
 		SDCDetected:     res.SDCDetected,
 		SDCSilent:       res.SDCSilent,
+		Stragglers:      res.Stragglers,
+		HedgesLaunched:  res.HedgesLaunched,
+		HedgesWon:       res.HedgesWon,
+		HedgeWastedJ:    float64(res.HedgeWastedJ),
+		DeadlineMisses:  res.DeadlineMisses,
+		TasksShed:       res.TasksShed,
 		Energy:          energy.NewReport(),
 	}
 	for _, d := range j.ej.Devices() {
@@ -973,6 +1130,17 @@ func (b *TaskBuilder) Retry(n int) *TaskBuilder { b.t.Retry = n; return b }
 // what the guardband no longer does.
 func (b *TaskBuilder) Undervolt(level int) *TaskBuilder { b.t.Undervolt = level; return b }
 
+// Deadline gives the task a completion budget on the job's virtual clock,
+// measured from job start. A non-positive d is rejected at Submit with
+// ErrInvalidTask; how a miss is handled depends on WithDeadlineMode.
+func (b *TaskBuilder) Deadline(d time.Duration) *TaskBuilder {
+	if d <= 0 && b.err == nil {
+		b.err = fmt.Errorf("legato: task %q: deadline must be positive (got %v): %w", b.t.Name, d, ErrInvalidTask)
+	}
+	b.t.Deadline = d
+	return b
+}
+
 // Secure runs the task inside the system enclave with sealed I/O.
 func (b *TaskBuilder) Secure() *TaskBuilder { b.t.Req.Secure = true; return b }
 
@@ -1015,6 +1183,20 @@ type Report struct {
 	// SDCSilent counts corruptions that went undetected (the task was not
 	// replicated).
 	SDCSilent int
+	// Stragglers counts executions the tail watchdog flagged as exceeding
+	// the hedge policy's multiple of their expected span.
+	Stragglers int
+	// HedgesLaunched counts speculative replicas started for this job.
+	HedgesLaunched int
+	// HedgesWon counts replicas that beat their straggling primary.
+	HedgesWon int
+	// HedgeWastedJ is the energy burned by cancelled losing executions.
+	HedgeWastedJ float64
+	// DeadlineMisses counts tasks that passed their deadline.
+	DeadlineMisses int
+	// TasksShed counts tasks skipped by graceful degradation
+	// (DeadlineShed): they never executed and their records say so.
+	TasksShed int
 	// EDPJs is the job's energy-delay product: TaskEnergyJ × makespan in
 	// joule-seconds, the quantity the MinEDP policy optimises.
 	EDPJs float64

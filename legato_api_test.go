@@ -336,9 +336,27 @@ func TestMonitorAndTraceSurface(t *testing.T) {
 	if !deviceScoped {
 		t.Fatalf("no per-device counters in %v", reg.Scopes())
 	}
-	spans := sys.Tracer().Spans()
-	if len(spans) != 2 {
-		t.Fatalf("session trace has %d spans, want 2", len(spans))
+	var taskSpans, powerSpans int
+	for _, s := range sys.Tracer().Spans() {
+		switch s.Category {
+		case "task":
+			taskSpans++
+		case "power":
+			powerSpans++
+			if s.Value < 0 {
+				t.Fatalf("power sample with negative draw: %+v", s)
+			}
+		}
+	}
+	if taskSpans != 2 {
+		t.Fatalf("session trace has %d task spans, want 2", taskSpans)
+	}
+	// Draw is sampled at every task boundary (start + finish).
+	if powerSpans != 4 {
+		t.Fatalf("session trace has %d power samples, want 4", powerSpans)
+	}
+	if xs, ys := sys.Tracer().Series("power"); len(xs) != 4 || len(ys) != 4 {
+		t.Fatalf("Series(power) = %d/%d points, want 4", len(xs), len(ys))
 	}
 	if sys.Tracer().Counter("jobs") != 1 {
 		t.Fatalf("jobs counter = %v", sys.Tracer().Counter("jobs"))
