@@ -10,8 +10,9 @@ ci: vet lint build race bench-short
 vet:
 	$(GO) vet ./...
 
-# errcheck-style pass over the resilience paths: an ignored error return
-# in faults/engine/taskrt/power fails the build (see cmd/legato-lint).
+# Static passes over the runtime packages (see cmd/legato-lint): ignored
+# error returns, wall-clock reads in fleet-time code, and operator output
+# (fmt/log printing) that should flow through the event bus instead.
 lint:
 	$(GO) run ./cmd/legato-lint
 
@@ -25,8 +26,9 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark — smoke-checks the experiment
-# harness plus the E11 >= 2x throughput, E12 <= 1.5x inflation, and
-# E13 power-cap/EDP gates without a full run.
+# harness plus the E11 >= 2x throughput, E12 <= 1.5x inflation,
+# E13 power-cap/EDP, and observer-overhead (armed-idle bus within 3%
+# of the bus-free baseline) gates without a full run.
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 

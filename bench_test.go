@@ -1,7 +1,7 @@
 package legato
 
 // Benchmark harness: one testing.B benchmark per table/figure of the
-// paper's evaluation (see DESIGN.md §6 for the experiment index). Each
+// paper's evaluation (see DESIGN.md §7 for the experiment index). Each
 // benchmark regenerates its artifact through internal/experiments — the
 // same code path as cmd/legato-bench — and reports the headline numbers as
 // custom metrics so `go test -bench` output documents the reproduction.
@@ -9,6 +9,7 @@ package legato
 import (
 	"context"
 	"testing"
+	"time"
 
 	"legato/internal/experiments"
 	"legato/internal/hw"
@@ -189,6 +190,40 @@ func BenchmarkMultiJobThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverOverhead is the cost gate of the observability layer:
+// the E11 multi-job workload with the (default) event bus armed but no
+// listener attached must stay within 3% of the bus-free baseline's
+// fleet-time throughput. The fleet-time speedup is deterministic (the
+// virtual-time schedule cannot see observers), so the gate proves the
+// idle bus never perturbs scheduling; the wall-clock ratio is reported
+// as an informational metric of the host-side nil-check/atomic-load
+// cost.
+func BenchmarkObserverOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wall := time.Now()
+		serialBase := runThroughputSession(b, 1, withoutObservability())
+		concBase := runThroughputSession(b, 8, withoutObservability())
+		baseWall := time.Since(wall)
+
+		wall = time.Now()
+		serialObs := runThroughputSession(b, 1)
+		concObs := runThroughputSession(b, 8)
+		obsWall := time.Since(wall)
+
+		baseSpeedup := float64(serialBase.SessionMakespan) / float64(concBase.SessionMakespan)
+		obsSpeedup := float64(serialObs.SessionMakespan) / float64(concObs.SessionMakespan)
+		b.ReportMetric(baseSpeedup, "baseline-speedup-x")
+		b.ReportMetric(obsSpeedup, "armed-idle-speedup-x")
+		if baseWall > 0 {
+			b.ReportMetric(float64(obsWall)/float64(baseWall), "wall-ratio")
+		}
+		if obsSpeedup < 0.97*baseSpeedup {
+			b.Fatalf("armed-idle observer throughput %.3fx below 97%% of the bus-free baseline %.3fx",
+				obsSpeedup, baseSpeedup)
+		}
+	}
+}
+
 // BenchmarkResilientThroughput regenerates E12: the 8-job session under an
 // MTBF-driven single-device loss with async L1 checkpoints, versus the
 // fault-free baseline. Acceptance gates: every job completes, makespan
@@ -283,7 +318,7 @@ func BenchmarkSecureOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkECCMitigation measures the SECDED ablation sweep (DESIGN.md §7).
+// BenchmarkECCMitigation measures the SECDED ablation sweep (DESIGN.md §8).
 func BenchmarkECCMitigation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ECCMitigation(64<<10, int64(i+1))

@@ -9,6 +9,11 @@
 //     Fleet-time code must read the virtual clock (sim.Engine.Now); a
 //     wall-clock read would make schedules, fault timelines and the
 //     straggler watchdog non-reproducible per seed.
+//   - operator output: flags fmt.Print* and log.Print*/Fatal*/Panic* in
+//     the runtime packages. Runtime telemetry must flow through the
+//     event bus and metric registry (internal/obs, internal/monitor) so
+//     it stays observable, testable and silent by default; printing to
+//     stdout/stderr from library code is a debugging leftover.
 //
 // The build fails on any finding.
 //
@@ -16,8 +21,9 @@
 //
 //	legato-lint [package-dir ...]
 //
-// With no arguments it scans the resilience paths (internal/faults,
-// internal/engine, internal/taskrt, internal/power). Test files are
+// With no arguments it scans the runtime paths (internal/faults,
+// internal/engine, internal/taskrt, internal/power, internal/obs,
+// internal/trace, internal/monitor, internal/sim). Test files are
 // skipped; an ignored error in a test is an assertion choice, not a
 // recovery bug, and tests may legitimately time out on the wall clock.
 package main
@@ -32,7 +38,10 @@ import (
 	"strings"
 )
 
-var defaultDirs = []string{"internal/faults", "internal/engine", "internal/taskrt", "internal/power"}
+var defaultDirs = []string{
+	"internal/faults", "internal/engine", "internal/taskrt", "internal/power",
+	"internal/obs", "internal/trace", "internal/monitor", "internal/sim",
+}
 
 // finding is one lint violation.
 type finding struct {
@@ -155,6 +164,34 @@ func lintDir(dir string) ([]finding, error) {
 				findings = append(findings, finding{fset.Position(sel.Pos()),
 					fmt.Sprintf("wall-clock time.%s in fleet-time code (use the virtual clock)", sel.Sel.Name)})
 			}
+			return true
+		})
+	}
+	// Pass 4 (operator output): runtime packages must not print. fmt.Print*
+	// writes to stdout and log.Print*/Fatal*/Panic* to stderr — both bypass
+	// the event bus and metric registry, the only sanctioned telemetry
+	// channels for library code. fmt.Fprintf and friends stay legal: they
+	// target a caller-chosen writer (string builders, exporters).
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case pkg.Name == "fmt" && strings.HasPrefix(name, "Print"):
+			case pkg.Name == "log" && (strings.HasPrefix(name, "Print") ||
+				strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")):
+			default:
+				return true
+			}
+			findings = append(findings, finding{fset.Position(sel.Pos()),
+				fmt.Sprintf("%s.%s in runtime code (publish on the event bus or metric registry instead)", pkg.Name, name)})
 			return true
 		})
 	}

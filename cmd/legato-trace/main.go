@@ -1,0 +1,147 @@
+// legato-trace inspects and converts session dumps written by
+// legato.System.ExportSession.
+//
+// Usage:
+//
+//	legato-trace -in session.json [flags]
+//
+// With only -in it prints a human summary of the run: overview, the
+// top-N slowest task timelines (queue wait / execution / retries / hedge
+// overlap), per-device utilization against the session makespan, hedge
+// waste, and per-device energy attribution. Conversion flags write
+// derived artifacts instead:
+//
+//	-chrome out.json   Chrome trace_event JSON (chrome://tracing, Perfetto)
+//	-paraver out.prv   Paraver-style text trace
+//	-prom out.prom     Prometheus text exposition of the metric registry
+//	-events out.log    ordered event log, one line per event
+//	-top N             rows in the slowest-task table (default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"legato/internal/obs"
+	"legato/internal/sim"
+	"legato/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "", "session dump written by ExportSession (required)")
+	chrome := flag.String("chrome", "", "write Chrome trace_event JSON to this path")
+	paraver := flag.String("paraver", "", "write Paraver text trace to this path")
+	prom := flag.String("prom", "", "write Prometheus exposition to this path")
+	events := flag.String("events", "", "write the ordered event log to this path")
+	top := flag.Int("top", 10, "rows in the slowest-task table")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dump, err := obs.DecodeSession(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", *in, err)
+	}
+
+	converted := false
+	if *chrome != "" {
+		b, err := obs.ChromeTrace(dump.Spans, dump.Counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeOut(*chrome, string(b))
+		converted = true
+	}
+	if *paraver != "" {
+		writeOut(*paraver, trace.ParaverText(dump.Spans, dump.Counters))
+		converted = true
+	}
+	if *prom != "" {
+		writeOut(*prom, obs.PrometheusText(dump.Metrics))
+		converted = true
+	}
+	if *events != "" {
+		writeOut(*events, obs.FormatLog(dump.Events))
+		converted = true
+	}
+	if converted {
+		return
+	}
+	summary(dump, *top)
+}
+
+// writeOut writes one artifact, logging the destination and size.
+func writeOut(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+}
+
+// summary prints the human-facing digest of one session dump.
+func summary(dump *obs.SessionDump, top int) {
+	busy, makespan := obs.DeviceUtilization(dump.Spans)
+	fmt.Printf("session %q: %d spans, %d events, %d metric scopes, makespan %v\n",
+		dump.Name, len(dump.Spans), len(dump.Events), len(dump.Metrics), makespan)
+
+	tls := obs.Timelines(dump.Spans)
+	if len(tls) > 0 {
+		fmt.Printf("\nslowest %d tasks (of %d):\n", min(top, len(tls)), len(tls))
+		fmt.Print(obs.TimelineTable(obs.TopSlowest(tls, top)))
+	}
+
+	if len(busy) > 0 && makespan > 0 {
+		fmt.Printf("\ndevice utilization over %v:\n", makespan)
+		devs := make([]string, 0, len(busy))
+		for d := range busy {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		for _, d := range devs {
+			fmt.Printf("  %-10s busy %-14v %5.1f%%\n", d, busy[d],
+				100*sim.ToSeconds(busy[d])/sim.ToSeconds(makespan))
+		}
+	}
+
+	if tail, ok := dump.Metrics["tail"]; ok {
+		fmt.Printf("\ntail behaviour: %.0f hedges launched, %.0f won, %.0f J wasted, %.0f tasks shed\n",
+			tail["hedges-launched"], tail["hedges-won"], tail["hedge-wasted-J"], tail["tasks-shed"])
+	}
+
+	type devEnergy struct {
+		dev string
+		j   float64
+	}
+	var des []devEnergy
+	var totalJ float64
+	for scope, metrics := range dump.Metrics {
+		if dev, ok := strings.CutPrefix(scope, "device/"); ok && metrics["energy-J"] > 0 {
+			des = append(des, devEnergy{dev, metrics["energy-J"]})
+			totalJ += metrics["energy-J"]
+		}
+	}
+	if totalJ > 0 {
+		sort.Slice(des, func(i, j int) bool {
+			if des[i].j != des[j].j {
+				return des[i].j > des[j].j
+			}
+			return des[i].dev < des[j].dev
+		})
+		fmt.Printf("\nenergy attribution (%.0f J dynamic total):\n", totalJ)
+		for _, de := range des {
+			fmt.Printf("  %-10s %10.0f J  %5.1f%%\n", de.dev, de.j, 100*de.j/totalJ)
+		}
+	}
+}

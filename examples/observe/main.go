@@ -1,0 +1,182 @@
+// Observe: unified runtime observability on a faulty, hedged,
+// power-capped multi-job session. A live subscriber drains the bounded
+// event feed while three jobs run — watching tasks queue, place, start
+// and complete, faults inject, hedges launch and win, and the report
+// task get shed for missing its deadline — and the session's full
+// telemetry is then exported three ways: a session dump (everything:
+// spans, counters, metrics, ordered event log), a Chrome trace_event
+// JSON loadable in chrome://tracing or Perfetto, and a Prometheus text
+// exposition of the metric registry. The written session dump is what
+// the legato-trace CLI consumes:
+//
+//	legato-trace -in observe-session.json
+//	legato-trace -in observe-session.json -chrome trace.json
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"legato"
+	"legato/internal/faults"
+	"legato/internal/ft"
+	"legato/internal/hw"
+	"legato/internal/obs"
+	"legato/internal/power"
+)
+
+// buildChains fills a job with two parallel four-stage chains of wide
+// tasks plus a deadline-bearing report task the degraded session sheds.
+func buildChains(job *legato.Job) error {
+	var outs []legato.DataHandle
+	for c := 0; c < 2; c++ {
+		prev := job.Data(fmt.Sprintf("chain%d/in", c), 4096)
+		for stage := 0; stage < 4; stage++ {
+			next := job.Data(fmt.Sprintf("chain%d/s%d", c, stage), 4096)
+			if err := job.Task(fmt.Sprintf("chain%d/stage%d", c, stage)).
+				Gops(400).Cores(8).In(prev).Out(next).Submit(); err != nil {
+				return err
+			}
+			prev = next
+		}
+		outs = append(outs, prev)
+	}
+	return job.Task("report").Gops(40).Cores(1).In(outs...).
+		Deadline(8 * time.Second).Submit()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	probe, err := legato.NewSystem(legato.WithPlatform(legato.CloudPlatform))
+	if err != nil {
+		log.Fatal(err)
+	}
+	capW := 0.6 * float64(power.FleetPeakWatts(probe.Devices()))
+	if err := probe.Close(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := legato.NewSystem(
+		legato.WithPlatform(legato.CloudPlatform),
+		legato.WithPolicy(legato.MinTime),
+		legato.WithWorkers(3),
+		legato.WithPowerCap(capW),
+		// Silently slow the x86 microservers so the watchdog has
+		// stragglers to hedge — every hedge becomes event traffic.
+		legato.WithFaults(faults.Plan{
+			DegradeMTBF:     ft.MTBFModel{hw.CPUx86: 0.05},
+			DegradeTo:       1.0,
+			DegradeSlowdown: 6.0,
+			Seed:            7,
+		}),
+		legato.WithHedging(legato.HedgePolicy{Multiplier: 1.5}),
+		legato.WithDeadlineMode(legato.DeadlineShed),
+		// Keep the ordered in-memory log so ExportSession carries the
+		// full event stream alongside spans and metrics.
+		legato.WithEventLog(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Live subscriber: a bounded feed (obs.DefaultBuffer events). The
+	// consumer tallies kinds as they arrive; Close ends the feed.
+	feed := sys.Events()
+	counts := make(map[legato.EventKind]int)
+	total := 0
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for e := range feed {
+			counts[e.Kind]++
+			total++
+		}
+	}()
+
+	var jobs []*legato.Job
+	for n := 0; n < 3; n++ {
+		job, err := sys.NewJob(fmt.Sprintf("render-%d", n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buildChains(job); err != nil {
+			log.Fatal(err)
+		}
+		if err := job.Start(ctx); err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		if _, err := job.Wait(ctx); err != nil {
+			log.Fatalf("%s: %v", job.Name(), err)
+		}
+	}
+
+	// Export the session dump BEFORE Close (Close tears down the feed;
+	// the tracer and registry stay readable, but exporting here keeps
+	// the artifact flow obvious).
+	dumpFile, err := os.Create("observe-session.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ExportSession(dumpFile); err != nil {
+		log.Fatal(err)
+	}
+	if err := dumpFile.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	chrome, err := obs.ChromeTrace(sys.Tracer().Spans(), sys.Tracer().Counters())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("observe-trace.json", chrome, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	prom := obs.PrometheusText(sys.Monitor().Snapshot())
+	if err := os.WriteFile("observe-metrics.prom", []byte(prom), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-drained
+
+	fmt.Printf("live feed saw %d events (%d dropped by backpressure):\n", total, sys.EventsDropped())
+	kinds := make([]legato.EventKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-20s %4d\n", k, counts[k])
+	}
+
+	fmt.Printf("\nartifacts: observe-session.json (%d events), observe-trace.json (%d bytes), observe-metrics.prom (%d bytes)\n",
+		len(sys.EventLog()), len(chrome), len(prom))
+
+	// Witnesses: the feed must have carried every lifecycle milestone and
+	// the tail-tolerance traffic the fault plan provokes.
+	wantTasks := 3 * (2*4 + 1)
+	done := counts[legato.EvTaskCompleted] + counts[legato.EvTaskShed]
+	if done != wantTasks {
+		log.Fatalf("feed saw %d terminal task events, want %d", done, wantTasks)
+	}
+	for _, k := range []legato.EventKind{
+		legato.EvFaultInjected, legato.EvHedgeLaunched, legato.EvPowerAdmitted,
+	} {
+		if counts[k] == 0 {
+			log.Fatalf("feed never saw %v", k)
+		}
+	}
+	fmt.Println("\nwitness: every task's terminal event reached the live subscriber")
+}

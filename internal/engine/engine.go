@@ -38,6 +38,7 @@ import (
 	"legato/internal/faults"
 	"legato/internal/hw"
 	"legato/internal/monitor"
+	"legato/internal/obs"
 	"legato/internal/power"
 	"legato/internal/sim"
 	"legato/internal/taskrt"
@@ -69,6 +70,10 @@ type Config struct {
 	Fleet []*hw.Device
 	// Registry receives per-job and per-device counters (optional).
 	Registry *monitor.Registry
+	// Bus receives typed runtime events from every job's lifecycle hooks
+	// and the fault injector (optional). A nil bus costs nothing; a bus
+	// with no listener costs one atomic load per would-be event.
+	Bus *obs.Bus
 	// Faults, when non-nil and enabled, drives an MTBF-based failure
 	// process over the session: the sampled timeline is replayed on every
 	// job's private clock, and the injector applies each global fault
@@ -484,8 +489,109 @@ func (e *Engine) NewJob(name string) (*Job, error) {
 			},
 		})
 	}
+	e.wireBus(j)
 	e.wireFaults(j)
 	return j, nil
+}
+
+// wireBus registers the hooks that publish the job's lifecycle to the
+// session event bus, every event stamped with the job's virtual time and
+// name. Hooks fire on the goroutine driving the job; the bus serializes
+// publication, and with no listener each hook is one struct literal plus
+// an atomic load.
+func (e *Engine) wireBus(j *Job) {
+	bus := e.cfg.Bus
+	if bus == nil {
+		return
+	}
+	job := j.Name
+	clock := j.clock
+	j.rt.AddHooks(taskrt.Hooks{
+		Queued: func(name string) {
+			bus.Publish(obs.Event{At: clock.Now(), Kind: obs.TaskQueued, Job: job, Task: name})
+		},
+		Placed: func(name, device string, cores int, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.TaskPlaced, Job: job, Task: name, Device: device, Value: float64(cores)})
+		},
+		Started: func(rec taskrt.Record) {
+			bus.Publish(obs.Event{At: rec.Start, Kind: obs.TaskStarted, Job: job, Task: rec.Name, Device: rec.Device, Value: float64(rec.DrawW)})
+		},
+		Finished: func(rec taskrt.Record) {
+			if rec.Shed {
+				bus.Publish(obs.Event{At: rec.End, Kind: obs.TaskShed, Job: job, Task: rec.Name, Detail: "deadline"})
+				return
+			}
+			detail := ""
+			switch {
+			case rec.Hedged && rec.Corrupted:
+				detail = "hedged,corrupted"
+			case rec.Hedged:
+				detail = "hedged"
+			case rec.Corrupted:
+				detail = "corrupted"
+			}
+			bus.Publish(obs.Event{At: rec.End, Kind: obs.TaskCompleted, Job: job, Task: rec.Name, Device: rec.Device, Value: float64(rec.EnergyJ), Detail: detail})
+		},
+		Retried: func(name string, attempt int, reason string, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.TaskRetried, Job: job, Task: name, Value: float64(attempt), Detail: reason})
+		},
+		Failed: func(name, reason string, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.TaskFailed, Job: job, Task: name, Detail: reason})
+		},
+		DeviceLost: func(deviceID string, revoked, restored int, at sim.Time) {
+			if !bus.Active() {
+				return // skip the Sprintf nobody would read
+			}
+			bus.Publish(obs.Event{At: at, Kind: obs.DeviceLost, Job: job, Device: deviceID, Value: float64(revoked),
+				Detail: fmt.Sprintf("revoked=%d restored=%d", revoked, restored)})
+		},
+		Checkpointed: func(tasks int, bytes int64, start, end sim.Time) {
+			// Both sides of the interval surface at commit time: begin is
+			// stamped with the capture instant, commit with the landing.
+			bus.Publish(obs.Event{At: start, Kind: obs.CheckpointBegin, Job: job, Value: float64(bytes)})
+			bus.Publish(obs.Event{At: end, Kind: obs.CheckpointCommit, Job: job, Value: float64(tasks)})
+		},
+		Straggler: func(name, device string, expected, elapsed sim.Time) {
+			stretch := 0.0
+			if expected > 0 {
+				stretch = float64(elapsed) / float64(expected)
+			}
+			bus.Publish(obs.Event{At: clock.Now(), Kind: obs.HedgeArmed, Job: job, Task: name, Device: device, Value: stretch})
+		},
+		Hedged: func(name, from, to string, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.HedgeLaunched, Job: job, Task: name, Device: to, Detail: "from " + from})
+		},
+		HedgeResolved: func(name, winner string, hedgeWon bool, wastedJ energy.Joules, start, end sim.Time) {
+			k := obs.HedgeCancelled
+			if hedgeWon {
+				k = obs.HedgeWon
+			}
+			bus.Publish(obs.Event{At: end, Kind: k, Job: job, Task: name, Device: winner, Value: float64(wastedJ)})
+		},
+		HedgePromoted: func(name, device string, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.HedgePromoted, Job: job, Task: name, Device: device})
+		},
+		DeadlineMissed: func(name string, deadline, at sim.Time, shed bool) {
+			detail := "late"
+			if shed {
+				detail = "shed"
+			}
+			bus.Publish(obs.Event{At: at, Kind: obs.DeadlineMissed, Job: job, Task: name, Value: sim.ToSeconds(deadline), Detail: detail})
+		},
+		PowerAdmitted: func(name, device string, watts energy.Watts, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.PowerAdmitted, Job: job, Task: name, Device: device, Value: float64(watts)})
+		},
+		PowerRefused: func(name, device string, watts energy.Watts, at sim.Time) {
+			bus.Publish(obs.Event{At: at, Kind: obs.PowerRefused, Job: job, Task: name, Device: device, Value: float64(watts)})
+		},
+		Rescaled: func(device string, from, to int, at sim.Time) {
+			k := obs.GovernorThrottled
+			if to < from {
+				k = obs.GovernorRestored
+			}
+			bus.Publish(obs.Event{At: at, Kind: k, Job: job, Device: device, Value: float64(to)})
+		},
+	})
 }
 
 // wireFaults replays the injector's sampled timeline on the job's private
@@ -518,7 +624,11 @@ func (e *Engine) wireFaults(j *Job) {
 			}
 			rt := j.rt
 			j.rt.ScheduleFault(ev.At, func() {
-				e.injector.Crash(ev.Device)
+				if e.injector.Crash(ev.Device) {
+					// First job across the event time: the global fault is
+					// applied now, so it is published exactly once.
+					e.publishFault(j, ev)
+				}
 				rt.FailDevice(ev.Device)
 			})
 		case faults.Degrade:
@@ -528,13 +638,30 @@ func (e *Engine) wireFaults(j *Job) {
 				// silent latency stretch on this job's own mirror — every
 				// job crossing the event time observes the slowdown, and
 				// none of their schedulers can see it coming.
-				e.injector.Degrade(ev)
+				if e.injector.Degrade(ev) {
+					e.publishFault(j, ev)
+				}
 				if ev.Slowdown > 1 {
 					rt.DegradeDevice(ev.Device, ev.Slowdown)
 				}
 			})
 		}
 	}
+}
+
+// publishFault emits the FaultInjected event for a globally-applied
+// fault, attributed to the job whose clock first crossed the event time.
+// Degrades carry the silent slowdown factor as the value.
+func (e *Engine) publishFault(j *Job, ev faults.Event) {
+	bus := e.cfg.Bus
+	if !bus.Active() {
+		return
+	}
+	val := 0.0
+	if ev.Kind == faults.Degrade {
+		val = ev.Slowdown
+	}
+	bus.Publish(obs.Event{At: ev.At, Kind: obs.FaultInjected, Job: j.Name, Device: ev.Device, Value: val, Detail: ev.Kind.String()})
 }
 
 // Faults exposes the fault injector (nil without a plan).

@@ -192,8 +192,8 @@ func TestEngineFaultPlanEndToEnd(t *testing.T) {
 	if e.Fleet().Peak("dev/cpu") > e.Fleet().Capacity("dev/cpu") {
 		t.Fatal("CPU oversubscribed while absorbing the FPGA's work")
 	}
-	if reg.Snapshot("faults")["device-crashes"] != 1 {
-		t.Fatalf("registry faults scope: %+v", reg.Snapshot("faults"))
+	if reg.ScopeSnapshot("faults")["device-crashes"] != 1 {
+		t.Fatalf("registry faults scope: %+v", reg.ScopeSnapshot("faults"))
 	}
 }
 
@@ -270,12 +270,12 @@ func TestDegradeStragglerHedgeEndToEnd(t *testing.T) {
 	if st.TasksRetried != 0 {
 		t.Fatalf("retries = %d, want 0 (hedging, not crash recovery)", st.TasksRetried)
 	}
-	tail := reg.Snapshot("tail")
+	tail := reg.ScopeSnapshot("tail")
 	if tail["stragglers-detected"] != 2 || tail["hedges-won"] != 2 || tail["hedge-wasted-J"] <= 0 {
 		t.Fatalf("tail scope = %+v", tail)
 	}
-	if reg.Snapshot("device/dev/backup")["hedges-hosted"] != 2 {
-		t.Fatalf("backup device scope = %+v", reg.Snapshot("device/dev/backup"))
+	if reg.ScopeSnapshot("device/dev/backup")["hedges-hosted"] != 2 {
+		t.Fatalf("backup device scope = %+v", reg.ScopeSnapshot("device/dev/backup"))
 	}
 }
 

@@ -24,7 +24,7 @@ type ECCRow struct {
 // ECCMitigation stores a payload in BRAM twice — raw and SECDED-encoded —
 // and sweeps the critical voltage region, comparing residual corruption.
 // This is the mitigation ablation for operating FPGAs below Vmin
-// (DESIGN.md §7; the direction Sec. III-C's OmpSs@FPGA integration takes).
+// (DESIGN.md §8; the direction Sec. III-C's OmpSs@FPGA integration takes).
 func ECCMitigation(payloadBytes int, seed int64) ([]ECCRow, error) {
 	p := fpga.ZC702()
 	b := fpga.NewBoard(p, seed)

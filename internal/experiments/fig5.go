@@ -1,5 +1,5 @@
 // Package experiments contains the drivers that regenerate every table and
-// figure of the paper's evaluation (see DESIGN.md §6 for the experiment
+// figure of the paper's evaluation (see DESIGN.md §7 for the experiment
 // index). Each driver returns structured rows plus a rendered table in the
 // shape of the corresponding figure; cmd/legato-bench and the repository
 // benchmarks call into this package so the numbers in EXPERIMENTS.md come

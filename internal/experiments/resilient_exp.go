@@ -154,7 +154,7 @@ func Resilient(jobs, workers int, seed int64) (*ResilientResult, error) {
 	// sampled timeline against this set before paying for a session.
 	busy := map[string]bool{}
 	for _, scope := range baseReg.Scopes() {
-		if strings.HasPrefix(scope, "device/") && baseReg.Snapshot(scope)["tasks-completed"] > 0 {
+		if strings.HasPrefix(scope, "device/") && baseReg.ScopeSnapshot(scope)["tasks-completed"] > 0 {
 			busy[strings.TrimPrefix(scope, "device/")] = true
 		}
 	}

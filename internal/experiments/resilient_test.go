@@ -38,7 +38,7 @@ func TestResilientE12(t *testing.T) {
 	}
 
 	// The registry must carry the recovery counters ("faults" scope).
-	snap := res.Registry.Snapshot("faults")
+	snap := res.Registry.ScopeSnapshot("faults")
 	if snap["device-crashes"] < 1 {
 		t.Fatalf("registry faults scope missing device-crashes: %+v", snap)
 	}

@@ -173,8 +173,8 @@ func TestInjectorIdempotent(t *testing.T) {
 	if in.Crashes() != 1 {
 		t.Fatalf("crashes = %d, want 1", in.Crashes())
 	}
-	if reg.Snapshot("faults")["device-crashes"] != 1 {
-		t.Fatalf("registry crashes = %v", reg.Snapshot("faults"))
+	if reg.ScopeSnapshot("faults")["device-crashes"] != 1 {
+		t.Fatalf("registry crashes = %v", reg.ScopeSnapshot("faults"))
 	}
 
 	ev := Event{Device: "cpu1", Kind: Degrade, Capacity: 8}

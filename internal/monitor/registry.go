@@ -66,13 +66,30 @@ func (r *Registry) Scopes() []string {
 	return out
 }
 
-// Snapshot returns a copy of one scope's metrics.
-func (r *Registry) Snapshot(scope string) map[string]float64 {
+// ScopeSnapshot returns a copy of one scope's metrics.
+func (r *Registry) ScopeSnapshot(scope string) map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]float64, len(r.scopes[scope]))
 	for k, v := range r.scopes[scope] {
 		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns a deep copy of every scope's metrics, taken under one
+// lock acquisition — an atomic, consistent view exporters can walk while
+// live writers keep accumulating.
+func (r *Registry) Snapshot() map[string]map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[string]float64, len(r.scopes))
+	for scope, metrics := range r.scopes {
+		m := make(map[string]float64, len(metrics))
+		for k, v := range metrics {
+			m[k] = v
+		}
+		out[scope] = m
 	}
 	return out
 }

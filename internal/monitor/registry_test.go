@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySnapshotDeepCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("job/a", "tasks-completed", 3)
+	r.Set("device/d0", "busy-s", 1.5)
+	snap := r.Snapshot()
+	if snap["job/a"]["tasks-completed"] != 3 || snap["device/d0"]["busy-s"] != 1.5 {
+		t.Fatalf("snapshot content wrong: %v", snap)
+	}
+	// Mutating the snapshot must not touch the registry, and vice versa.
+	snap["job/a"]["tasks-completed"] = 99
+	snap["new"] = map[string]float64{"x": 1}
+	if r.Get("job/a", "tasks-completed") != 3 {
+		t.Fatal("snapshot mutation leaked into the registry")
+	}
+	r.Add("job/a", "tasks-completed", 1)
+	if snap["job/a"]["tasks-completed"] != 99 {
+		t.Fatal("registry write leaked into the snapshot")
+	}
+}
+
+func TestRegistrySnapshotUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scope := []string{"job/a", "job/b", "device/d0", "tail"}[g]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Add(scope, "m", 1)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		for scope, metrics := range r.Snapshot() {
+			for m := range metrics {
+				_ = r.Get(scope, m)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistryReportSortedDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, scope := range order {
+			r.Add(scope, "zeta", 1)
+			r.Add(scope, "alpha", 2)
+			r.Add(scope, "mid-metric", 3)
+		}
+		return r
+	}
+	a := build([]string{"job/b", "device/d1", "job/a", "power"})
+	b := build([]string{"power", "job/a", "job/b", "device/d1"})
+	ra, rb := a.Report(), b.Report()
+	if ra != rb {
+		t.Fatalf("report depends on insertion order:\n%s\nvs\n%s", ra, rb)
+	}
+	// Scopes and metrics must appear in sorted order.
+	wantOrder := []string{"device/d1", "job/a", "job/b", "power"}
+	last := -1
+	for _, scope := range wantOrder {
+		i := strings.Index(ra, scope+"\n")
+		if i <= last {
+			t.Fatalf("scope %q out of order in report:\n%s", scope, ra)
+		}
+		last = i
+	}
+	sec := strings.Split(ra, "device/d1")[1]
+	if za, al := strings.Index(sec, "zeta"), strings.Index(sec, "alpha"); al > za {
+		t.Fatalf("metrics not sorted within scope:\n%s", ra)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"legato/internal/sim"
+	"legato/internal/trace"
+)
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+func TestPrometheusTextNormalizesAndSorts(t *testing.T) {
+	snap := map[string]map[string]float64{
+		"job/ingest":      {"tasks-completed": 42, "energy-J": 12.5},
+		"device/recs0/m3": {"tasks-completed": 7},
+		"power":           {"peak-draw-W": 310},
+	}
+	got := PrometheusText(snap)
+	want := `# TYPE legato_energy_J gauge
+legato_energy_J{scope="job",name="ingest"} 12.5
+# TYPE legato_peak_draw_W gauge
+legato_peak_draw_W{scope="power"} 310
+# TYPE legato_tasks_completed gauge
+legato_tasks_completed{scope="device",name="recs0/m3"} 7
+legato_tasks_completed{scope="job",name="ingest"} 42
+`
+	if got != want {
+		t.Fatalf("exposition drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+	// Determinism: repeated renders of the same snapshot are identical.
+	if again := PrometheusText(snap); again != got {
+		t.Fatal("exposition output is not deterministic")
+	}
+}
+
+func TestPromNameRejectsIllegalRunes(t *testing.T) {
+	if got := promName("p99-latency.s"); got != "legato_p99_latency_s" {
+		t.Fatalf("promName: got %q", got)
+	}
+}
+
+func sampleSpans() []trace.Span {
+	return []trace.Span{
+		{Name: "stage0", Category: "queue", Resource: "stage0", Start: 0, End: 0},
+		{Name: "stage0", Category: "task", Resource: "gpu0", Start: sec(1), End: sec(3)},
+		{Name: "fleet-draw", Category: "power", Resource: "fleet", Start: sec(1), End: sec(1), Value: 120},
+		{Name: "stage0#retry1(crash)", Category: "failure", Resource: "stage0", Start: sec(0.5), End: sec(0.5)},
+		{Name: "stage0 hedge won on gpu1", Category: "hedge", Resource: "gpu1", Start: sec(2), End: sec(3), Value: 4},
+		{Name: "report#shed", Category: "deadline", Resource: "report", Start: sec(4), End: sec(4)},
+		{Name: "report", Category: "queue", Resource: "report", Start: 0, End: 0},
+	}
+}
+
+func TestChromeTraceIsValidAndTyped(t *testing.T) {
+	blob, err := ChromeTrace(sampleSpans(), map[string]float64{"hedges-won": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(blob) {
+		t.Fatal("chrome trace is not valid JSON")
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]float64 `json:"otherData"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Name == "stage0" && ev.Ph == "X" {
+			if ev.Ts != 1e6 || ev.Dur != 2e6 {
+				t.Fatalf("task span mis-timed: ts=%g dur=%g (µs)", ev.Ts, ev.Dur)
+			}
+		}
+		if ev.Name == "fleet-draw" {
+			if ev.Ph != "C" || ev.Args["power"] != 120.0 {
+				t.Fatalf("power sample must be a counter event: %+v", ev)
+			}
+		}
+	}
+	if phases["M"] < 2 || phases["X"] == 0 || phases["i"] == 0 || phases["C"] == 0 {
+		t.Fatalf("missing phase kinds: %v", phases)
+	}
+	if out.OtherData["hedges-won"] != 1 {
+		t.Fatalf("counters missing from otherData: %v", out.OtherData)
+	}
+}
+
+func TestTimelinesBreakdown(t *testing.T) {
+	tls := Timelines(sampleSpans())
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2 (stage0, report)", len(tls))
+	}
+	report, stage := tls[0], tls[1]
+	if stage.Name != "stage0" || report.Name != "report" {
+		t.Fatalf("unexpected ordering: %q, %q", tls[0].Name, tls[1].Name)
+	}
+	if stage.Device != "gpu0" || stage.Executions != 1 || stage.Retries != 1 {
+		t.Fatalf("stage0 breakdown wrong: %+v", stage)
+	}
+	if stage.QueueWait != sec(1) || stage.Exec != sec(2) || stage.HedgeOverlap != sec(1) {
+		t.Fatalf("stage0 intervals wrong: %+v", stage)
+	}
+	if stage.Latency() != sec(3) {
+		t.Fatalf("stage0 latency = %v, want 3s", stage.Latency())
+	}
+	if !report.Shed || report.Executions != 0 {
+		t.Fatalf("report must be shed without executions: %+v", report)
+	}
+	top := TopSlowest(tls, 1)
+	if len(top) != 1 || top[0].Name != "report" {
+		// report's shed mark lands at 4s > stage0's 3s latency.
+		t.Fatalf("top slowest = %+v", top)
+	}
+	table := TimelineTable(tls)
+	if !strings.Contains(table, "(shed)") || !strings.Contains(table, "gpu0") {
+		t.Fatalf("table missing rows:\n%s", table)
+	}
+}
+
+func TestDeviceUtilization(t *testing.T) {
+	busy, makespan := DeviceUtilization(sampleSpans())
+	if busy["gpu0"] != sec(2) || len(busy) != 1 {
+		t.Fatalf("busy = %v", busy)
+	}
+	if makespan != sec(3) {
+		t.Fatalf("makespan = %v, want 3s", makespan)
+	}
+}
+
+func TestSessionDumpRoundTrip(t *testing.T) {
+	in := &SessionDump{
+		Name:     "s",
+		Spans:    sampleSpans(),
+		Counters: map[string]float64{"hedges-won": 1},
+		Metrics:  map[string]map[string]float64{"job/a": {"energy-J": 2}},
+		Events: []Event{
+			{Seq: 1, Kind: TaskQueued, Job: "a", Task: "stage0"},
+			{Seq: 2, At: sec(1), Kind: TaskPlaced, Job: "a", Task: "stage0", Device: "gpu0", Value: 8},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) != len(in.Spans) || len(out.Events) != 2 {
+		t.Fatalf("lossy round trip: %d spans, %d events", len(out.Spans), len(out.Events))
+	}
+	if out.Events[1].Kind != TaskPlaced || out.Events[1].Device != "gpu0" {
+		t.Fatalf("event round trip wrong: %+v", out.Events[1])
+	}
+	if _, err := DecodeSession(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed dump must fail to decode")
+	}
+}

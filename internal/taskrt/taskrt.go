@@ -160,6 +160,25 @@ type Hooks struct {
 	// DeadlineMissed fires when a task passes its deadline; shed reports
 	// whether the task was skipped under DeadlineShed.
 	DeadlineMissed func(name string, deadline, at sim.Time, shed bool)
+	// Placed fires when a primary placement has won the device, the core
+	// admission and the watt admission, immediately before launch.
+	Placed func(name, device string, cores int, at sim.Time)
+	// Failed fires when the job records a terminal task failure (retry
+	// budget exhausted, or a strict-mode deadline miss); reason matches
+	// the typed error family ("crash", "sdc", "deadline", ...).
+	Failed func(name, reason string, at sim.Time)
+	// HedgePromoted fires when the primary's device loss promotes the
+	// racing replica to sole execution (no retry charged).
+	HedgePromoted func(name, device string, at sim.Time)
+	// PowerAdmitted/PowerRefused fire on watt-ledger admission outcomes
+	// for primary placements and hedge replicas alike; a refusal parks
+	// the placement (or denies the hedge) until the ledger changes.
+	PowerAdmitted func(name, device string, watts energy.Watts, at sim.Time)
+	PowerRefused  func(name, device string, watts energy.Watts, at sim.Time)
+	// Rescaled fires when the runtime observes a governor DVFS change on
+	// its platform mirror; from/to are ladder state indices (higher =
+	// more throttled).
+	Rescaled func(device string, from, to int, at sim.Time)
 }
 
 // Data is a named data region tasks depend on.
@@ -639,6 +658,11 @@ func (r *Runtime) deadlineFire(n *node) {
 	if r.failErr == nil {
 		r.failErr = fmt.Errorf("taskrt: task %q missed its %v deadline at %v: %w",
 			n.task.Name, n.task.Deadline, now, ErrDeadlineExceeded)
+		for _, h := range r.hooks {
+			if h.Failed != nil {
+				h.Failed(n.task.Name, "deadline", now)
+			}
+		}
 	}
 }
 
@@ -735,10 +759,16 @@ func (r *Runtime) applyOperatingPoints() {
 	}
 	for _, dev := range r.devices {
 		if p := r.pow.OperatingPoint(dev.ID); p != dev.StateIndex() {
+			from := dev.StateIndex()
 			if err := dev.SetState(p); err != nil {
 				// A mirror with fewer states than the reference ladder is a
 				// construction bug; stay at the current point.
 				continue
+			}
+			for _, h := range r.hooks {
+				if h.Rescaled != nil {
+					h.Rescaled(dev.ID, from, p, r.eng.Now())
+				}
 			}
 		}
 	}
@@ -792,9 +822,19 @@ func (r *Runtime) dispatch() {
 					if r.adm != nil {
 						r.adm.Release(dev.ID, n.task.Cores)
 					}
+					for _, h := range r.hooks {
+						if h.PowerRefused != nil {
+							h.PowerRefused(n.task.Name, dev.ID, watts, r.eng.Now())
+						}
+					}
 					r.blocked = true
 					r.applyOperatingPoints()
 					continue
+				}
+				for _, h := range r.hooks {
+					if h.PowerAdmitted != nil {
+						h.PowerAdmitted(n.task.Name, dev.ID, watts, r.eng.Now())
+					}
 				}
 			}
 			r.ready = append(r.ready[:qi], r.ready[qi+1:]...)
@@ -859,6 +899,11 @@ func (r *Runtime) start(n *node, dev *hw.Device, watts energy.Watts) {
 	}
 	n.started = true
 	n.hedges = 0
+	for _, h := range r.hooks {
+		if h.Placed != nil {
+			h.Placed(t.Name, dev.ID, t.Cores, r.eng.Now())
+		}
+	}
 	n.primary = r.launch(n, dev, watts, false)
 	n.record.Device = dev.ID
 	n.record.Class = dev.Spec.Class
@@ -968,8 +1013,18 @@ func (r *Runtime) straggler(n *node, ex *exec) {
 			if r.adm != nil {
 				r.adm.Release(dev.ID, n.task.Cores)
 			}
+			for _, h := range r.hooks {
+				if h.PowerRefused != nil {
+					h.PowerRefused(n.task.Name, dev.ID, watts, now)
+				}
+			}
 			rearm()
 			return
+		}
+		for _, h := range r.hooks {
+			if h.PowerAdmitted != nil {
+				h.PowerAdmitted(n.task.Name, dev.ID, watts, now)
+			}
 		}
 	}
 	if err := dev.Acquire(n.task.Cores); err != nil {
@@ -1162,6 +1217,11 @@ func (r *Runtime) retry(n *node, reason string) {
 		if r.failErr == nil {
 			r.failErr = fmt.Errorf("taskrt: task %q gave up after %d failed attempts (%s): %w",
 				n.task.Name, n.attempts, reason, ErrRetriesExhausted)
+			for _, h := range r.hooks {
+				if h.Failed != nil {
+					h.Failed(n.task.Name, reason, r.eng.Now())
+				}
+			}
 		}
 		return
 	}
@@ -1231,6 +1291,11 @@ func (r *Runtime) FailDevice(id string) (revoked, restored int) {
 			// hedge to sole execution — no retry, no attempt charged.
 			n.primary = h
 			n.hedge = nil
+			for _, hk := range r.hooks {
+				if hk.HedgePromoted != nil {
+					hk.HedgePromoted(n.task.Name, h.dev.ID, r.eng.Now())
+				}
+			}
 			continue
 		}
 		n.primary = nil

@@ -99,6 +99,17 @@ func (t *Tracer) Add(s Span) {
 	t.spans = append(t.spans, s)
 }
 
+// Counters returns a copy of every named counter.
+func (t *Tracer) Counters() map[string]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
 // Merge folds another tracer's closed spans and counters into t. Jobs
 // record against their own virtual clock; merging preserves their
 // job-relative timestamps, so merged spans are comparable per resource,
@@ -155,22 +166,28 @@ func (t *Tracer) ByCategory() map[string]sim.Time {
 // ExportParaver renders the spans as Paraver-like state records:
 // kind:resource:applTask:start:end:name.
 func (t *Tracer) ExportParaver() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	return ParaverText(t.Spans(), t.Counters())
+}
+
+// ParaverText renders already-extracted spans and counters in the same
+// Paraver-like text format as Tracer.ExportParaver — the path used when
+// the data comes from an exported session dump rather than a live
+// tracer.
+func ParaverText(spans []Span, counters map[string]float64) string {
 	var sb strings.Builder
 	sb.WriteString("#Paraver (legato trace)\n")
-	for i, s := range t.spans {
+	for i, s := range spans {
 		fmt.Fprintf(&sb, "1:%s:%d:%d:%d:%s:%s\n",
 			s.Resource, i+1, int64(s.Start), int64(s.End), s.Category, s.Name)
 	}
 	// Counters as event records.
-	names := make([]string, 0, len(t.counters))
-	for n := range t.counters {
+	names := make([]string, 0, len(counters))
+	for n := range counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&sb, "2:%s:%g\n", n, t.counters[n])
+		fmt.Fprintf(&sb, "2:%s:%g\n", n, counters[n])
 	}
 	return sb.String()
 }

@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"legato/internal/sim"
@@ -70,6 +73,93 @@ func TestExportParaver(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("export missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestConcurrentTracerUse hammers Begin/End/Add/Count on one tracer from
+// parallel goroutines while sibling tracers Merge into it — the shape of
+// a session trace receiving completed jobs while others still record.
+// Run under -race; the witness is no race and no lost span.
+func TestConcurrentTracerUse(t *testing.T) {
+	session := New(sim.NewEngine())
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := New(sim.NewEngine())
+			for i := 0; i < perWorker; i++ {
+				id := session.Begin(fmt.Sprintf("w%d/t%d", w, i), "task", "dev")
+				session.End(id)
+				local.Add(Span{Name: fmt.Sprintf("w%d/l%d", w, i), Category: "local", Resource: "dev"})
+				local.Count("bytes", 1)
+				session.Count("ops", 1)
+			}
+			session.Merge(local)
+		}(w)
+	}
+	wg.Wait()
+	if got := len(session.Spans()); got != 2*workers*perWorker {
+		t.Fatalf("lost spans under concurrency: %d, want %d", got, 2*workers*perWorker)
+	}
+	if session.Counter("ops") != workers*perWorker || session.Counter("bytes") != workers*perWorker {
+		t.Fatalf("lost counts: ops=%v bytes=%v", session.Counter("ops"), session.Counter("bytes"))
+	}
+}
+
+func TestMergeSelfAndNilAreNoOps(t *testing.T) {
+	tr := New(sim.NewEngine())
+	tr.Add(Span{Name: "x", Category: "task", Resource: "d"})
+	tr.Merge(nil)
+	tr.Merge(tr)
+	if len(tr.Spans()) != 1 {
+		t.Fatalf("self/nil merge changed spans: %d", len(tr.Spans()))
+	}
+}
+
+// TestSeriesVirtualTimeOrder records samples out of submission order and
+// checks Series returns them sorted by virtual time.
+func TestSeriesVirtualTimeOrder(t *testing.T) {
+	tr := New(sim.NewEngine())
+	at := func(s sim.Time, v float64) {
+		tr.Add(Span{Name: "draw", Category: "power", Resource: "fleet", Start: s, End: s, Value: v})
+	}
+	at(30, 3)
+	at(10, 1)
+	at(20, 2)
+	at(5, 0.5)
+	xs, ys := tr.Series("power")
+	if len(xs) != 4 {
+		t.Fatalf("series length %d", len(xs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatalf("series x values not time-sorted: %v", xs)
+	}
+	want := []float64{0.5, 1, 2, 3}
+	for i, v := range want {
+		if ys[i] != v {
+			t.Fatalf("series values out of order: %v", ys)
+		}
+	}
+}
+
+func TestCountersCopy(t *testing.T) {
+	tr := New(sim.NewEngine())
+	tr.Count("a", 2)
+	c := tr.Counters()
+	c["a"] = 99
+	if tr.Counter("a") != 2 {
+		t.Fatal("Counters returned a live reference")
+	}
+}
+
+func TestParaverTextMatchesExport(t *testing.T) {
+	tr := New(sim.NewEngine())
+	tr.Add(Span{Name: "t0", Category: "task", Resource: "gpu0", Start: 1, End: 5})
+	tr.Count("hedges", 1)
+	if got, want := ParaverText(tr.Spans(), tr.Counters()), tr.ExportParaver(); got != want {
+		t.Fatalf("package-level render diverges:\n%s\nvs\n%s", got, want)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -53,6 +54,7 @@ import (
 	"legato/internal/hw"
 	"legato/internal/middleware"
 	"legato/internal/monitor"
+	"legato/internal/obs"
 	"legato/internal/power"
 	"legato/internal/secure"
 	"legato/internal/sim"
@@ -138,6 +140,40 @@ const (
 	DeadlineShed = taskrt.DeadlineShed
 )
 
+// Event re-exports the typed runtime observability event: one
+// observation of the session's lifecycle (placements, completions,
+// hedges, throttles, faults, ...), stamped with virtual time, job, task
+// and device. Subscribe with WithObserver or System.Events.
+type Event = obs.Event
+
+// EventKind re-exports the event taxonomy.
+type EventKind = obs.Kind
+
+// Event kinds (see DESIGN.md §5 for the full taxonomy).
+const (
+	EvTaskQueued        = obs.TaskQueued
+	EvTaskPlaced        = obs.TaskPlaced
+	EvTaskStarted       = obs.TaskStarted
+	EvTaskCompleted     = obs.TaskCompleted
+	EvTaskFailed        = obs.TaskFailed
+	EvTaskRetried       = obs.TaskRetried
+	EvTaskShed          = obs.TaskShed
+	EvCheckpointBegin   = obs.CheckpointBegin
+	EvCheckpointCommit  = obs.CheckpointCommit
+	EvHedgeArmed        = obs.HedgeArmed
+	EvHedgeLaunched     = obs.HedgeLaunched
+	EvHedgeWon          = obs.HedgeWon
+	EvHedgeCancelled    = obs.HedgeCancelled
+	EvHedgePromoted     = obs.HedgePromoted
+	EvDeadlineMissed    = obs.DeadlineMissed
+	EvFaultInjected     = obs.FaultInjected
+	EvGovernorThrottled = obs.GovernorThrottled
+	EvGovernorRestored  = obs.GovernorRestored
+	EvPowerAdmitted     = obs.PowerAdmitted
+	EvPowerRefused      = obs.PowerRefused
+	EvDeviceLost        = obs.DeviceLost
+)
+
 // PlatformKind selects the hardware substrate.
 type PlatformKind int
 
@@ -164,6 +200,9 @@ type settings struct {
 	governor  Governor
 	hedge     HedgePolicy
 	dlMode    DeadlineMode
+	observers []func(Event)
+	eventLog  bool
+	noObs     bool
 }
 
 func defaultSettings() settings {
@@ -274,6 +313,35 @@ func WithDeadlineMode(m DeadlineMode) Option {
 	return optionFunc(func(s *settings) { s.dlMode = m })
 }
 
+// WithObserver registers a synchronous observer on the session event
+// bus: fn sees every runtime event in global publication order. It runs
+// inline on the goroutine driving the emitting job (under the bus lock),
+// so it must be fast and must not block — use System.Events for a
+// decoupled consumer. May be given multiple times; nil is ignored.
+func WithObserver(fn func(Event)) Option {
+	return optionFunc(func(s *settings) {
+		if fn != nil {
+			s.observers = append(s.observers, fn)
+		}
+	})
+}
+
+// WithEventLog arms an in-memory ordered event log for the whole
+// session, retrievable with System.EventLog and embedded in
+// ExportSession dumps. For a fixed seed and serialized submission
+// (WithWorkers(1), jobs awaited one at a time) the log is byte-for-byte
+// reproducible.
+func WithEventLog() Option {
+	return optionFunc(func(s *settings) { s.eventLog = true })
+}
+
+// withoutObservability disables the session event bus entirely — the
+// baseline the observer-overhead benchmark gate compares against. Not
+// exported: the armed-but-idle bus is already one atomic load per event.
+func withoutObservability() Option {
+	return optionFunc(func(s *settings) { s.noObs = true })
+}
+
 // Config parametrises a System.
 //
 // Deprecated: Config is the legacy all-in-one option; it implements Option
@@ -366,10 +434,13 @@ type System struct {
 	box    *hw.RECSBox
 	edge   *hw.EdgeServer
 	mgr    *middleware.Manager
-	tracer *trace.Tracer // session trace; completed jobs merge into it
+	tracer *trace.Tracer  // session trace; completed jobs merge into it
+	bus    *obs.Bus       // session event bus (nil only via withoutObservability)
+	evlog  *obs.Collector // ordered event log (nil without WithEventLog)
 
-	mu  sync.Mutex
-	def *Job // implicit job behind the deprecated single-job surface
+	mu    sync.Mutex
+	def   *Job // implicit job behind the deprecated single-job surface
+	evsub *obs.Subscription
 }
 
 // buildPlatform constructs a platform instance on the given clock.
@@ -424,6 +495,16 @@ func NewSystem(opts ...Option) (*System, error) {
 		s.mgr = middleware.NewManager(box)
 	}
 	s.tracer = trace.New(refClock)
+	if !set.noObs {
+		s.bus = obs.NewBus()
+		for _, fn := range set.observers {
+			s.bus.Observe(fn)
+		}
+		if set.eventLog {
+			s.evlog = &obs.Collector{}
+			s.bus.Observe(s.evlog.Observe)
+		}
+	}
 
 	s.eng, err = engine.New(engine.Config{
 		Workers: set.workers,
@@ -434,6 +515,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		},
 		Fleet:        fleet,
 		Registry:     s.reg,
+		Bus:          s.bus,
 		Faults:       set.faults,
 		PowerCapW:    set.powerCapW,
 		Governor:     set.governor,
@@ -576,9 +658,77 @@ func (s *System) Fleet() *engine.Fleet { return s.eng.Fleet() }
 // WithPowerCap.
 func (s *System) Power() *power.Ledger { return s.eng.Power() }
 
+// Events returns the session's bounded event feed (buffer
+// obs.DefaultBuffer): every runtime event published after the first call
+// arrives on the channel in global order. If a consumer falls behind,
+// events are dropped rather than stalling the dispatch loop —
+// EventsDropped counts them. The channel is closed by Close. Repeated
+// calls return the same shared channel.
+func (s *System) Events() <-chan Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bus == nil {
+		// Observability disabled: a closed channel, so consumers ranging
+		// over it terminate instead of blocking forever.
+		ch := make(chan Event)
+		close(ch)
+		return ch
+	}
+	if s.evsub == nil {
+		s.evsub = s.bus.Subscribe(obs.DefaultBuffer)
+	}
+	return s.evsub.Events()
+}
+
+// EventsDropped reports how many events the Events feed discarded
+// because its buffer was full (zero when Events was never called).
+func (s *System) EventsDropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evsub == nil {
+		return 0
+	}
+	return s.evsub.Dropped()
+}
+
+// EventLog returns the ordered event log collected so far; empty unless
+// the session was built with WithEventLog.
+func (s *System) EventLog() []Event {
+	if s.evlog == nil {
+		return nil
+	}
+	return s.evlog.Events()
+}
+
+// ExportSession writes the session as a self-contained JSON dump —
+// merged tracer spans and counters, the full registry snapshot, and the
+// event log when armed — the interchange format the legato-trace CLI
+// loads, summarises and converts (Chrome trace_event, Paraver,
+// Prometheus text). Export after the jobs of interest completed: only
+// merged (finished) job traces are included.
+func (s *System) ExportSession(w io.Writer) error {
+	dump := obs.SessionDump{
+		Name:     "legato-session",
+		Spans:    s.tracer.Spans(),
+		Counters: s.tracer.Counters(),
+		Metrics:  s.reg.Snapshot(),
+		Events:   s.EventLog(),
+	}
+	return dump.Encode(w)
+}
+
 // Close stops accepting jobs and drains the engine; queued jobs still run.
-// If ctx fires first, outstanding jobs are cancelled.
-func (s *System) Close(ctx context.Context) error { return s.eng.Shutdown(ctx) }
+// If ctx fires first, outstanding jobs are cancelled. The Events feed is
+// closed once the drain finishes, so ranging consumers terminate.
+func (s *System) Close(ctx context.Context) error {
+	err := s.eng.Shutdown(ctx)
+	s.mu.Lock()
+	if s.evsub != nil {
+		s.evsub.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
 
 // DataHandle names a declared data region of one job. The zero value is
 // invalid; handles are only usable with the job that created them.
@@ -657,6 +807,15 @@ func (s *System) NewJob(name string) (*Job, error) {
 		})
 	}
 	ej.Runtime().AddHooks(taskrt.Hooks{
+		// A zero-width "queue" span at submission marks when the task
+		// entered the graph; obs.Timelines derives queue wait from it.
+		Queued: func(task string) {
+			at := ej.Clock().Now()
+			j.tracer.Add(trace.Span{
+				Name: task, Category: "queue", Resource: task,
+				Start: at, End: at,
+			})
+		},
 		Started: func(rec taskrt.Record) { samplePower(rec.Start) },
 		Finished: func(rec taskrt.Record) {
 			if rec.Shed {

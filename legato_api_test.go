@@ -403,10 +403,13 @@ func buildThroughputJob(job *Job) error {
 }
 
 // runThroughputSession runs 8 independent jobs through a system with the
-// given worker-pool width and returns the session stats.
-func runThroughputSession(t testing.TB, workers int) SessionStats {
+// given worker-pool width and returns the session stats. Extra options
+// compose after the baseline ones (the observer-overhead benchmark adds
+// observability variants on the same workload).
+func runThroughputSession(t testing.TB, workers int, extra ...Option) SessionStats {
 	t.Helper()
-	sys, err := NewSystem(WithPolicy(MinTime), WithWorkers(workers))
+	opts := append([]Option{WithPolicy(MinTime), WithWorkers(workers)}, extra...)
+	sys, err := NewSystem(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
